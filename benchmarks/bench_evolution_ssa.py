@@ -1,0 +1,81 @@
+"""Benchmark evolution: Stop-and-Stare (SSA / D-SSA) joins the platform.
+
+The paper's concluding section: "a highly promising technique has been
+published in SIGMOD 2016 [Stop-and-Stare]. Unfortunately, we could not
+include the technique in our study ... our benchmarking study will also
+evolve with the inclusion of more recent techniques."  This bench is that
+evolution: SSA and D-SSA run through the identical pipeline as TIM+/IMM
+(same datasets, same decoupled MC scoring, same budget) plus SKIM and
+PMIA, the two referenced-but-excluded techniques, for completeness.
+
+Workload: nethept and hepph analogues under WC (the model where the
+RR-set race is sharpest), k in {10, 25, 50}.
+"""
+
+import numpy as np
+
+from repro.algorithms import registry
+from repro.diffusion.models import WC
+from repro.framework.metrics import run_with_budget
+from repro.framework.results import render_series
+
+from _common import RR_SCALE, emit, evaluate_spread, once, weighted_dataset
+
+K_GRID = (10, 25, 50)
+ROSTER = {
+    "TIM+": {"epsilon": 0.5, "rr_scale": RR_SCALE},
+    "IMM": {"epsilon": 0.5, "rr_scale": RR_SCALE},
+    "SSA": {"epsilon": 0.5, "rr_scale": RR_SCALE},
+    "D-SSA": {"epsilon": 0.5, "rr_scale": RR_SCALE},
+    "SKIM": {"num_instances": 24, "sketch_k": 12},
+    "PMIA": {},
+}
+
+
+def test_evolution_ssa_vs_rr_family(benchmark):
+    def experiment():
+        panels = {}
+        for dataset in ("nethept", "hepph"):
+            graph = weighted_dataset(dataset, WC)
+            spread_series = {name: [] for name in ROSTER}
+            time_series = {name: [] for name in ROSTER}
+            for name, params in ROSTER.items():
+                for k in K_GRID:
+                    record, __ = run_with_budget(
+                        registry.make(name, **params),
+                        graph, k, WC,
+                        rng=np.random.default_rng(k),
+                        time_limit_seconds=30.0,
+                        track_memory=False,
+                    )
+                    if record.ok:
+                        est = evaluate_spread(graph, record.seeds, WC)
+                        spread_series[name].append(round(est.mean, 1))
+                        time_series[name].append(round(record.elapsed_seconds, 3))
+                    else:
+                        spread_series[name].append(record.status)
+                        time_series[name].append(record.status)
+            panels[dataset] = (spread_series, time_series)
+        return panels
+
+    panels = once(benchmark, experiment)
+    blocks = []
+    for dataset, (spread_series, time_series) in panels.items():
+        blocks.append(render_series(
+            "k", list(K_GRID), spread_series,
+            title=f"Evolution: spread vs k — {dataset} (WC)",
+        ))
+        blocks.append(render_series(
+            "k", list(K_GRID), time_series,
+            title=f"Evolution: time (s) vs k — {dataset} (WC)",
+        ))
+    emit("evolution_ssa", "\n\n".join(blocks))
+
+    # The stop-and-stare family must match the RR incumbents' quality.
+    for dataset, (spread_series, __t) in panels.items():
+        for k_idx in range(len(K_GRID)):
+            imm = spread_series["IMM"][k_idx]
+            for name in ("SSA", "D-SSA"):
+                got = spread_series[name][k_idx]
+                if isinstance(got, float) and isinstance(imm, float):
+                    assert got >= 0.8 * imm, (dataset, name, K_GRID[k_idx])

@@ -1,0 +1,213 @@
+"""Figs. 6, 7 and 8 — spread, running time and memory vs number of seeds.
+
+One sweep over (dataset x model x algorithm x k) drives Figs. 6 and 7,
+exactly like the paper's main evaluation: every technique selects seeds
+under a common time budget, then the decoupled MC estimate scores the
+seed set.  Fig. 8 runs as a second, smaller pass with tracemalloc enabled
+(tracing roughly doubles Python's runtime, so mixing it into the timing
+sweep would distort Fig. 7).
+
+Workload: the four small-dataset analogues (nethept, hepph, dblp,
+youtube), the three standard models, k in {10, 25, 50}.  Algorithm
+rosters per model mirror the paper's panels, including its scalability
+concessions: CELF/CELF++ run only on the nethept analogue ("CELF and
+CELF++ do not scale beyond HepPh"); SIMPATH gets the same budget as
+everyone else and earns its DNFs honestly.  A run that violates the
+budget is reported as DNF/CRASHED and larger k values are skipped (cost
+grows with k).
+"""
+
+import numpy as np
+
+from repro.algorithms import registry
+from repro.diffusion.models import IC, LT, WC
+from repro.framework.metrics import RunRecord, run_with_budget
+from repro.framework.results import render_series
+
+from _common import emit, evaluate_spread, once, scaled_params, weighted_dataset
+
+K_GRID = (10, 25, 50)
+DATASETS = ("nethept", "hepph", "dblp", "youtube")
+TIME_LIMIT = 15.0
+MEMORY_LIMIT_MB = 300.0
+MEMORY_K = 50
+
+IC_ROSTER = (
+    "CELF", "CELF++", "TIM+", "IMM", "PMC", "StaticGreedy",
+    "IRIE", "EaSyIM", "IMRank1", "IMRank2",
+)
+LT_ROSTER = ("CELF", "CELF++", "LDAG", "SIMPATH", "TIM+", "IMM", "EaSyIM")
+NETHEPT_ONLY = {"CELF", "CELF++"}
+
+#: (dataset, model, algorithm, k) -> RunRecord; shared by figs 6 and 7.
+SWEEP: dict[tuple[str, str, str, int], RunRecord] = {}
+#: (dataset, model, algorithm) -> RunRecord with memory, for fig 8.
+MEMORY_SWEEP: dict[tuple[str, str, str], RunRecord] = {}
+
+
+def _roster(model):
+    return LT_ROSTER if model is LT else IC_ROSTER
+
+
+def _cells():
+    for dataset in DATASETS:
+        for model in (IC, WC, LT):
+            for name in _roster(model):
+                if name in NETHEPT_ONLY and dataset != "nethept":
+                    continue
+                yield dataset, model, name
+
+
+def _params(name, model):
+    params = scaled_params(name, model)
+    params.pop("mc_simulations", None)
+    if name in ("CELF", "CELF++"):
+        params["mc_simulations"] = 10
+    if name in ("PMC", "StaticGreedy"):
+        params["num_snapshots"] = 25
+    return params
+
+
+def _run_sweep():
+    for dataset, model, name in _cells():
+        graph = weighted_dataset(dataset, model)
+        params = _params(name, model)
+        last_status = "OK"
+        for k in K_GRID:
+            key = (dataset, model.name, name, k)
+            if last_status != "OK":
+                SWEEP[key] = RunRecord(name, model.name, k, last_status)
+                continue
+            record, __ = run_with_budget(
+                registry.make(name, **params),
+                graph,
+                k,
+                model,
+                rng=np.random.default_rng(k),
+                time_limit_seconds=TIME_LIMIT,
+                track_memory=False,
+            )
+            if record.ok:
+                est = evaluate_spread(graph, record.seeds, model)
+                record.spread = est.mean
+                record.spread_std = est.std
+            SWEEP[key] = record
+            last_status = record.status
+    return SWEEP
+
+
+def _figure(title, fmt):
+    blocks = []
+    for dataset in DATASETS:
+        for model in (IC, WC, LT):
+            series = {}
+            for name in _roster(model):
+                if name in NETHEPT_ONLY and dataset != "nethept":
+                    continue
+                values = []
+                for k in K_GRID:
+                    record = SWEEP[(dataset, model.name, name, k)]
+                    values.append(fmt(record) if record.ok else record.status)
+                series[name] = values
+            blocks.append(
+                render_series(
+                    "k", list(K_GRID), series,
+                    title=f"{title} — {dataset} ({model.name})",
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def test_fig6_quality(benchmark):
+    once(benchmark, _run_sweep)
+    text = _figure("Fig 6: spread vs #seeds", lambda r: round(r.spread, 1))
+    emit("fig06_quality", text)
+
+    ok = [r for r in SWEEP.values() if r.ok]
+    assert ok, "at least some cells must finish"
+    # Spread grows with k for every technique that finished all ks.
+    for dataset, model, name in _cells():
+        records = [SWEEP[(dataset, model.name, name, k)] for k in K_GRID]
+        if all(r.ok for r in records):
+            assert records[-1].spread >= records[0].spread * 0.95, (
+                dataset, model.name, name,
+            )
+
+
+def test_fig7_running_time(benchmark):
+    def render():
+        return _figure("Fig 7: running time (s) vs #seeds",
+                       lambda r: round(r.elapsed_seconds, 3))
+
+    text = once(benchmark, render)
+    emit("fig07_runtime", text)
+
+    # The paper's headline ordering wherever both finish: sampling (IMM)
+    # beats explicit simulation (CELF) by a wide margin.
+    for model in (IC, WC):
+        celf = SWEEP[("nethept", model.name, "CELF", 25)]
+        imm = SWEEP[("nethept", model.name, "IMM", 25)]
+        if celf.ok and imm.ok:
+            assert imm.elapsed_seconds < celf.elapsed_seconds
+    # SIMPATH must not beat LDAG under LT-uniform on the larger analogues
+    # (myth M5) — either it DNFs or it is slower.
+    for dataset in ("dblp", "youtube"):
+        ldag = SWEEP[(dataset, "LT", "LDAG", 25)]
+        simpath = SWEEP[(dataset, "LT", "SIMPATH", 25)]
+        if ldag.ok:
+            assert (not simpath.ok) or (
+                simpath.elapsed_seconds >= 0.5 * ldag.elapsed_seconds
+            )
+
+
+def test_fig8_memory(benchmark):
+    def run_memory_pass():
+        for dataset, model, name in _cells():
+            graph = weighted_dataset(dataset, model)
+            record, __ = run_with_budget(
+                registry.make(name, **_params(name, model)),
+                graph,
+                MEMORY_K,
+                model,
+                rng=np.random.default_rng(MEMORY_K),
+                time_limit_seconds=2 * TIME_LIMIT,  # tracing ~halves speed
+                memory_limit_mb=MEMORY_LIMIT_MB,
+                track_memory=True,
+            )
+            MEMORY_SWEEP[(dataset, model.name, name)] = record
+        return MEMORY_SWEEP
+
+    once(benchmark, run_memory_pass)
+    blocks = []
+    for dataset in DATASETS:
+        for model in (IC, WC, LT):
+            series = {}
+            for name in _roster(model):
+                key = (dataset, model.name, name)
+                if key not in MEMORY_SWEEP:
+                    continue
+                r = MEMORY_SWEEP[key]
+                series[name] = [
+                    round(r.peak_memory_mb or 0.0, 2) if r.ok else r.status
+                ]
+            blocks.append(render_series(
+                "k", [MEMORY_K], series,
+                title=f"Fig 8: peak traced memory (MB) — {dataset} ({model.name})",
+            ))
+    emit("fig08_memory", "\n\n".join(blocks))
+
+    # EaSyIM is the most memory-frugal technique wherever it finished —
+    # within a whisker (numpy scratch arrays) of the minimum.
+    for dataset in DATASETS:
+        for model in (IC, WC, LT):
+            finished = {
+                name: MEMORY_SWEEP[(dataset, model.name, name)].peak_memory_mb
+                for name in _roster(model)
+                if (dataset, model.name, name) in MEMORY_SWEEP
+                and MEMORY_SWEEP[(dataset, model.name, name)].ok
+            }
+            if "EaSyIM" in finished and len(finished) > 1:
+                floor = min(finished.values())
+                assert finished["EaSyIM"] <= max(2.0 * floor, floor + 1.0), (
+                    dataset, model.name, finished,
+                )

@@ -1,0 +1,83 @@
+"""Fig. 11 — the concluding skyline and decision tree.
+
+(a) Measures (quality, time, memory) for a representative roster on the
+hepph analogue under WC, classifies each technique onto the three pillars
+and verifies the paper's conclusion: nobody stands on all three.
+
+(b) Prints the decision tree's recommendations.
+"""
+
+import numpy as np
+
+from repro.algorithms import registry
+from repro.diffusion.models import WC
+from repro.framework.metrics import run_with_budget
+from repro.framework.skyline import PillarScores, classify_pillars, recommend, skyline
+
+from _common import emit, evaluate_spread, once, scaled_params, weighted_dataset
+
+K = 25
+ROSTER = ("CELF", "IMM", "TIM+", "PMC", "StaticGreedy", "IRIE", "EaSyIM", "IMRank1")
+
+
+def test_fig11_skyline_and_decision_tree(benchmark):
+    graph = weighted_dataset("hepph", WC)
+
+    def experiment():
+        scores = []
+        for name in ROSTER:
+            params = scaled_params(name, WC)
+            params.pop("mc_simulations", None)
+            if name == "CELF":
+                params["mc_simulations"] = 10
+            record, __ = run_with_budget(
+                registry.make(name, **params),
+                graph,
+                K,
+                WC,
+                rng=np.random.default_rng(11),
+                time_limit_seconds=60.0,
+                track_memory=True,
+            )
+            if not record.ok:
+                continue
+            spread = evaluate_spread(graph, record.seeds, WC).mean
+            scores.append(
+                PillarScores(
+                    name=name,
+                    quality=spread,
+                    time_seconds=record.elapsed_seconds,
+                    memory_mb=record.peak_memory_mb or 0.0,
+                )
+            )
+        return scores
+
+    scores = once(benchmark, experiment)
+    pillars = classify_pillars(scores)
+    frontier = {s.name for s in skyline(scores)}
+
+    lines = [
+        "Fig 11a: pillar classification (hepph analogue, WC, k=25)",
+        f"{'Algorithm':<14} {'Spread':>8} {'Time (s)':>9} {'Mem (MB)':>9} "
+        f"{'Pillars':>8} {'Skyline':>8}",
+        "-" * 62,
+    ]
+    for s in scores:
+        lines.append(
+            f"{s.name:<14} {s.quality:>8.1f} {s.time_seconds:>9.3f} "
+            f"{s.memory_mb:>9.2f} {''.join(sorted(pillars[s.name])):>8} "
+            f"{'yes' if s.name in frontier else '':>8}"
+        )
+    lines.append("")
+    lines.append("Fig 11b decision tree:")
+    for model_name in ("LT", "WC", "IC"):
+        lines.append(f"  {model_name}, ample memory    -> {recommend(model_name)}")
+    lines.append(f"  any model, scarce memory -> "
+                 f"{recommend('IC', memory_constrained=True)}")
+    emit("fig11_skyline", "\n".join(lines))
+
+    assert scores, "at least some techniques must finish"
+    # The paper's conclusion: no single state-of-the-art technique.
+    assert all(len(p) < 3 for p in pillars.values()), pillars
+    assert frontier, "the skyline is non-empty"
+    assert recommend("WC") == "IMM"

@@ -1,0 +1,60 @@
+"""Fig. 12 — convergence of the MC spread estimate with #simulations.
+
+The paper justifies its 10K-simulation evaluation standard by showing the
+mean and standard deviation of σ̂(S) stabilize by that point.  Here, IMM
+seeds on each of the four small analogues x three models are re-scored at
+growing simulation counts; the run-to-run deviation of the mean must
+shrink as r grows (root-r behaviour), and the means must agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import registry
+from repro.diffusion.models import IC, LT, WC
+from repro.framework.convergence import mc_convergence_study
+from repro.framework.results import render_series
+
+from _common import RR_SCALE, emit, once, weighted_dataset
+
+COUNTS = (25, 50, 100, 200, 400, 800)
+K = 25
+
+
+def test_fig12_mc_convergence(benchmark):
+    def experiment():
+        panels = {}
+        for dataset in ("nethept", "hepph", "dblp", "youtube"):
+            for model in (IC, WC, LT):
+                graph = weighted_dataset(dataset, model)
+                seeds = registry.make("IMM", epsilon=0.5, rr_scale=RR_SCALE).select(
+                    graph, K, model, rng=np.random.default_rng(12)
+                ).seeds
+                points = mc_convergence_study(
+                    graph, seeds, model,
+                    simulation_counts=COUNTS, repeats=5,
+                    rng=np.random.default_rng(13),
+                )
+                panels[(dataset, model.name)] = points
+        return panels
+
+    panels = once(benchmark, experiment)
+    blocks = []
+    for (dataset, model_name), points in panels.items():
+        series = {
+            "mean": [round(p.mean, 1) for p in points],
+            "sd of mean": [round(p.std_of_mean, 2) for p in points],
+        }
+        blocks.append(render_series(
+            "r", list(COUNTS), series,
+            title=f"Fig 12: sigma-hat vs #MC simulations — {dataset} ({model_name})",
+        ))
+    emit("fig12_mc_convergence", "\n\n".join(blocks))
+
+    # Deviation shrinks and means stay consistent on every panel.
+    shrunk = 0
+    for points in panels.values():
+        if points[-1].std_of_mean <= points[0].std_of_mean:
+            shrunk += 1
+        assert points[-1].mean == pytest.approx(points[0].mean, rel=0.2)
+    assert shrunk >= 0.75 * len(panels)

@@ -1,0 +1,111 @@
+"""Robustness — the fourth desirable property of Sec. 5.
+
+"The four most desirable properties of an IM algorithm are quality of
+spread, computational efficiency, memory footprint, and *robustness* to
+datasets, diffusion models and parameters."  Figs. 6-8 cover the first
+three; this bench quantifies the fourth along two axes the paper's
+narrative uses:
+
+* **randomness robustness** — run-to-run variation of the achieved spread
+  across independent executions (low for scoring techniques, higher for
+  small-sample stochastic ones);
+* **weight-scheme robustness** — does a technique's *relative* standing
+  survive swapping IC-constant for tri-valency weights?  (The IC/WC myth
+  M6 generalized: claims must hold across weightings.)
+"""
+
+import numpy as np
+
+from repro.algorithms import registry
+from repro.diffusion.models import IC, TV
+from repro.framework.results import render_series
+from repro.graph.weights import trivalency
+
+from _common import RR_SCALE, emit, evaluate_spread, once, weighted_dataset
+
+K = 15
+RUNS = 6
+ROSTER = {
+    "IMM": {"epsilon": 0.5, "rr_scale": RR_SCALE},
+    "PMC": {"num_snapshots": 25},
+    "IRIE": {},
+    "EaSyIM": {"path_length": 3},
+    "IMRank1": {},
+}
+
+
+def test_robustness_to_randomness(benchmark):
+    graph = weighted_dataset("nethept", IC)
+
+    def experiment():
+        rows = {}
+        for name, params in ROSTER.items():
+            spreads = []
+            for run in range(RUNS):
+                res = registry.make(name, **params).select(
+                    graph, K, IC, rng=np.random.default_rng(run)
+                )
+                spreads.append(evaluate_spread(graph, res.seeds, IC).mean)
+            rows[name] = spreads
+        return rows
+
+    rows = once(benchmark, experiment)
+    lines = [
+        f"Robustness to randomness (nethept, IC, k={K}, {RUNS} runs)",
+        f"{'Algorithm':<10} {'mean':>8} {'sd':>7} {'cv %':>6}",
+        "-" * 36,
+    ]
+    for name, spreads in rows.items():
+        arr = np.asarray(spreads)
+        cv = 100 * arr.std(ddof=1) / arr.mean()
+        lines.append(f"{name:<10} {arr.mean():>8.1f} {arr.std(ddof=1):>7.2f} "
+                     f"{cv:>6.2f}")
+    emit("robustness_randomness", "\n".join(lines))
+
+    # Deterministic scorers have (near-)zero run variance.
+    for name in ("IRIE", "EaSyIM", "IMRank1"):
+        arr = np.asarray(rows[name])
+        assert arr.std(ddof=1) < 1e-9
+    # Everyone stays within 20% coefficient of variation.
+    for name, spreads in rows.items():
+        arr = np.asarray(spreads)
+        assert arr.std(ddof=1) / arr.mean() < 0.20, name
+
+
+def test_robustness_to_weight_scheme(benchmark):
+    from repro.datasets import load
+
+    topology = load("nethept")
+    ic_graph = weighted_dataset("nethept", IC)
+    tv_graph = trivalency(topology, rng=np.random.default_rng(0))
+
+    def experiment():
+        table = {}
+        for name, params in ROSTER.items():
+            res_ic = registry.make(name, **params).select(
+                ic_graph, K, IC, rng=np.random.default_rng(1)
+            )
+            res_tv = registry.make(name, **params).select(
+                tv_graph, K, TV, rng=np.random.default_rng(1)
+            )
+            table[name] = (
+                evaluate_spread(ic_graph, res_ic.seeds, IC).mean,
+                evaluate_spread(tv_graph, res_tv.seeds, TV).mean,
+            )
+        return table
+
+    table = once(benchmark, experiment)
+    text = render_series(
+        "alg", list(table),
+        {
+            "IC-constant": [round(v[0], 1) for v in table.values()],
+            "tri-valency": [round(v[1], 1) for v in table.values()],
+        },
+        title=f"Robustness across weight schemes (nethept, k={K})",
+    )
+    emit("robustness_weight_scheme", text)
+
+    # The *relative* best under IC stays within the top half under TV.
+    ic_rank = sorted(table, key=lambda n: -table[n][0])
+    tv_rank = sorted(table, key=lambda n: -table[n][1])
+    assert tv_rank.index(ic_rank[0]) <= len(table) // 2

@@ -1,0 +1,201 @@
+"""Table 2 + Fig. 4 (and appendix Figs. 14-16) — optimal external parameters.
+
+Runs the Sec.-5.1.1 tuning procedure per (algorithm, model): sweep the
+external parameter, find X* (highest spread), then pick the cheapest value
+whose spread stays within one sd of μ*.
+
+Workloads (scaled): the greedy family and StaticGreedy tune on the nethept
+analogue, the rest on hepph, k = 10-25.  The paper tunes at k up to 200 on
+the real graphs; the procedure is identical, only the scale differs.  The
+final test renders the Table-2 analogue with the paper's values alongside.
+"""
+
+import numpy as np
+
+from repro.diffusion.models import IC, LT, WC
+from repro.framework.tuning import tune_parameter
+
+from _common import RR_SCALE, emit, once, weighted_dataset
+
+#: (algorithm, model) -> optimal value found, accumulated across tests.
+OPTIMA: dict[tuple[str, str], object] = {}
+
+#: Paper's Table 2 for the rendered comparison.
+PAPER_TABLE2 = {
+    ("CELF", "IC"): 10000, ("CELF", "WC"): 10000, ("CELF", "LT"): 10000,
+    ("CELF++", "IC"): 7500, ("CELF++", "WC"): 7500, ("CELF++", "LT"): 10000,
+    ("EaSyIM", "IC"): 50, ("EaSyIM", "WC"): 50, ("EaSyIM", "LT"): 25,
+    ("IMRank1", "IC"): 10, ("IMRank1", "WC"): 10,
+    ("IMRank2", "IC"): 10, ("IMRank2", "WC"): 10,
+    ("PMC", "IC"): 200, ("PMC", "WC"): 250,
+    ("StaticGreedy", "IC"): 250, ("StaticGreedy", "WC"): 250,
+    ("TIM+", "IC"): 0.05, ("TIM+", "WC"): 0.15, ("TIM+", "LT"): 0.35,
+    ("IMM", "IC"): 0.05, ("IMM", "WC"): 0.1, ("IMM", "LT"): 0.1,
+}
+
+
+def _tune(name, parameter, spectrum, dataset, model, k, **fixed):
+    result = tune_parameter(
+        name,
+        parameter,
+        spectrum,
+        weighted_dataset(dataset, model),
+        model,
+        k,
+        mc_simulations=150,
+        rng=np.random.default_rng(k),
+        time_limit_seconds=20.0,
+        fixed_params=fixed or None,
+    )
+    OPTIMA[(name, model.name)] = result.optimal_value
+    return result
+
+
+def test_fig4abc_mc_simulations(benchmark):
+    """Fig 4a-c: #MC simulations for the greedy family + EaSyIM depth."""
+
+    def experiment():
+        tables = []
+        for model in (IC, WC, LT):
+            for name in ("CELF", "CELF++"):
+                tables.append(
+                    _tune(name, "mc_simulations", [20, 10, 5, 2],
+                          "nethept", model, 10)
+                )
+            tables.append(
+                _tune("EaSyIM", "path_length", [6, 4, 3, 2, 1],
+                      "nethept", model, 10)
+            )
+        return tables
+
+    tables = once(benchmark, experiment)
+    emit("fig04abc_mc_simulations", "\n\n".join(t.table() for t in tables))
+    assert all(t.optimal_value is not None for t in tables)
+
+
+def test_fig4de_imrank_scoring_rounds(benchmark):
+    """Fig 4d-e: IMRank scoring rounds under IC and WC."""
+
+    def experiment():
+        tables = []
+        for model in (IC, WC):
+            for name in ("IMRank1", "IMRank2"):
+                tables.append(
+                    _tune(name, "scoring_rounds", [10, 5, 3, 2, 1],
+                          "hepph", model, 25)
+                )
+        return tables
+
+    tables = once(benchmark, experiment)
+    emit("fig04de_imrank_rounds", "\n\n".join(t.table() for t in tables))
+    assert all(t.optimal_value is not None for t in tables)
+
+
+def test_fig4fg_snapshots(benchmark):
+    """Fig 4f-g: snapshot counts for PMC (hepph) and StaticGreedy (nethept)."""
+
+    def experiment():
+        tables = []
+        for model in (IC, WC):
+            tables.append(
+                _tune("PMC", "num_snapshots", [100, 50, 25, 10],
+                      "hepph", model, 25)
+            )
+            tables.append(
+                _tune("StaticGreedy", "num_snapshots", [50, 25, 10],
+                      "nethept", model, 25)
+            )
+        return tables
+
+    tables = once(benchmark, experiment)
+    emit("fig04fg_snapshots", "\n\n".join(t.table() for t in tables))
+    assert all(t.optimal_value is not None for t in tables)
+
+
+def test_fig4hij_epsilon(benchmark):
+    """Fig 4h-j: ε for TIM+ and IMM under IC, WC and LT.
+
+    IC runs on the sparse nethept analogue (the paper's own IC sweeps stop
+    at HepPh because of the RR blow-up); WC/LT run on hepph.
+    """
+
+    def experiment():
+        tables = []
+        spectrum = [0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9]
+        for name in ("TIM+", "IMM"):
+            tables.append(
+                _tune(name, "epsilon", spectrum, "nethept", IC, 25,
+                      rr_scale=RR_SCALE)
+            )
+            for model in (WC, LT):
+                tables.append(
+                    _tune(name, "epsilon", spectrum, "hepph", model, 25,
+                          rr_scale=RR_SCALE)
+                )
+        return tables
+
+    tables = once(benchmark, experiment)
+    emit("fig04hij_epsilon", "\n\n".join(t.table() for t in tables))
+    assert all(t.optimal_value is not None for t in tables)
+
+
+def test_table2_optimal_parameter_summary(benchmark):
+    """Table 2: the optimal values found above vs the paper's."""
+
+    def render():
+        lines = [
+            f"{'Algorithm':<14} {'Model':<4} {'our optimum':>12} {'paper':>8}",
+            "-" * 44,
+        ]
+        for (name, model), value in sorted(OPTIMA.items()):
+            paper = PAPER_TABLE2.get((name, model), "-")
+            lines.append(f"{name:<14} {model:<4} {value!s:>12} {paper!s:>8}")
+        lines.append(
+            "\nNote: MC counts / snapshot counts are scaled with the graphs;"
+            "\nthe comparable signal is the *ordering* (e.g. LT needing fewer"
+            "\nsimulations, TIM+ tolerating larger epsilon than IMM)."
+        )
+        return "\n".join(lines)
+
+    text = once(benchmark, render)
+    emit("table2_optimal_parameters", text)
+    assert OPTIMA, "earlier sweeps must populate the summary"
+
+
+def test_fig15_16_appendix_sweeps(benchmark):
+    """Appendix Figs. 15-16: the same tuning sweeps on dblp and youtube.
+
+    The greedy family cannot run at these sizes (as in the paper, whose
+    appendix panels show only EaSyIM/IMRank/snapshots/epsilon beyond
+    Nethept), so the scalable subset is swept.
+    """
+
+    def experiment():
+        tables = []
+        for dataset in ("dblp", "youtube"):
+            for model in (IC, WC):
+                tables.append(
+                    _tune("EaSyIM", "path_length", [4, 3, 2, 1],
+                          dataset, model, 25)
+                )
+                tables.append(
+                    _tune("IMRank1", "scoring_rounds", [10, 5, 2, 1],
+                          dataset, model, 25)
+                )
+            tables.append(
+                _tune("IMM", "epsilon", [0.1, 0.35, 0.7],
+                      dataset, WC, 25, rr_scale=RR_SCALE)
+            )
+            tables.append(
+                _tune("TIM+", "epsilon", [0.1, 0.35, 0.7],
+                      dataset, LT, 25, rr_scale=RR_SCALE)
+            )
+            tables.append(
+                _tune("PMC", "num_snapshots", [50, 25, 10],
+                      dataset, WC, 25)
+            )
+        return tables
+
+    tables = once(benchmark, experiment)
+    emit("fig15_16_appendix_sweeps", "\n\n".join(t.table() for t in tables))
+    assert all(t.optimal_value is not None for t in tables)

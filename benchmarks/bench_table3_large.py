@@ -1,0 +1,108 @@
+"""Table 3 — the scalable techniques on the four large datasets at k = 200.
+
+Workload: livejournal / orkut / twitter / friendster analogues, the four
+techniques the paper carries forward (PMC and EaSyIM under IC; PMC, IMM
+and EaSyIM under WC; TIM+ and EaSyIM under LT), k = 200, spread reported
+as a percentage of nodes as in the paper.  Budgets (20 s / 200 MB traced)
+stand in for the paper's 40-hour / 256 GB walls and produce the same DNF /
+Crashed vocabulary.
+"""
+
+import numpy as np
+
+from repro.algorithms import registry
+from repro.diffusion.models import IC, LT, WC
+from repro.framework.metrics import run_with_budget
+
+from _common import emit, evaluate_spread, once, scaled_params, weighted_dataset
+
+K = 200
+DATASETS = ("livejournal", "orkut", "twitter", "friendster")
+ROSTER = {
+    "IC": ("PMC", "EaSyIM"),
+    "WC": ("PMC", "IMM", "EaSyIM"),
+    "LT": ("TIM+", "EaSyIM"),
+}
+TIME_LIMIT = 30.0
+MEMORY_LIMIT = 200.0
+#: PMC's per-world SCC contraction is the pure-Python bottleneck at this
+#: scale; 10 worlds keeps the k=200 run inside the budget (the paper runs
+#: 200+ on C++).
+PMC_SNAPSHOTS = 10
+
+
+def _cell(name, dataset, model):
+    graph = weighted_dataset(dataset, model)
+    params = scaled_params(name, model)
+    params.pop("mc_simulations", None)
+    if name == "PMC":
+        params["num_snapshots"] = PMC_SNAPSHOTS
+    algo = registry.make(name, **params)
+    record, __ = run_with_budget(
+        algo,
+        graph,
+        K,
+        model,
+        rng=np.random.default_rng(1),
+        time_limit_seconds=TIME_LIMIT,
+        memory_limit_mb=MEMORY_LIMIT,
+        track_memory=True,
+    )
+    if record.ok:
+        est = evaluate_spread(graph, record.seeds, model, r=100)
+        record.spread = est.mean
+    return record
+
+
+def test_table3_large_datasets(benchmark):
+    def experiment():
+        cells = {}
+        for dataset in DATASETS:
+            for model in (IC, WC, LT):
+                for name in ROSTER[model.name]:
+                    cells[(dataset, model.name, name)] = _cell(
+                        name, dataset, model
+                    )
+        return cells
+
+    cells = once(benchmark, experiment)
+
+    lines = [
+        f"Table 3: performance at k={K} on the large analogues "
+        f"(budget {TIME_LIMIT:.0f}s / {MEMORY_LIMIT:.0f}MB traced)",
+        f"{'Dataset':<12} {'Model':<5} {'Algorithm':<8} "
+        f"{'Spread %':>9} {'Time (s)':>9} {'Mem (MB)':>9} {'Status':>8}",
+        "-" * 66,
+    ]
+    for (dataset, model_name, name), record in cells.items():
+        graph = weighted_dataset(dataset, IC)
+        if record.ok:
+            pct = 100.0 * record.spread / graph.n
+            lines.append(
+                f"{dataset:<12} {model_name:<5} {name:<8} {pct:>8.2f}% "
+                f"{record.elapsed_seconds:>9.2f} "
+                f"{(record.peak_memory_mb or 0):>9.2f} {record.status:>8}"
+            )
+        else:
+            lines.append(
+                f"{dataset:<12} {model_name:<5} {name:<8} {'-':>9} "
+                f"{record.elapsed_seconds:>9.2f} {'-':>9} {record.status:>8}"
+            )
+    emit("table3_large_datasets", "\n".join(lines))
+
+    # EaSyIM has the lowest memory footprint wherever it finishes.
+    for dataset in DATASETS:
+        for model_name, roster in ROSTER.items():
+            finished = {
+                n: cells[(dataset, model_name, n)].peak_memory_mb
+                for n in roster
+                if cells[(dataset, model_name, n)].ok
+            }
+            if "EaSyIM" in finished and len(finished) > 1:
+                others = [v for k_, v in finished.items() if k_ != "EaSyIM"]
+                assert finished["EaSyIM"] <= min(others) * 2.0 + 1.0
+
+    # At least one cell must exercise the budget machinery or everything
+    # completed — both acceptable at this scale; record which happened.
+    statuses = {r.status for r in cells.values()}
+    assert statuses <= {"OK", "DNF", "CRASHED"}

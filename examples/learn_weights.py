@@ -1,0 +1,83 @@
+"""Learning influence probabilities from propagation traces.
+
+Sec. 2.1 of the paper notes edge weights should ideally be *learned* from
+propagation data, but no such data exists for public graphs — so the
+whole benchmark falls back to model-assigned weights.  This example shows
+the platform's learning substrate closing the loop on synthetic truth:
+
+1. plant ground-truth weights on the nethept analogue,
+2. simulate an action log (the WSDM'10 trace format),
+3. learn weights back with three estimators,
+4. check both weight fidelity and — what actually matters — whether seed
+   selection on the learned graph still finds good seeds for the truth.
+
+Run with:  python examples/learn_weights.py
+"""
+
+import numpy as np
+
+from repro import algorithms, datasets, diffusion
+from repro.learning import (
+    bernoulli,
+    generate_action_log,
+    jaccard,
+    partial_credits,
+    seed_set_transfer,
+    weight_error,
+)
+
+
+def main() -> None:
+    topology = datasets.load("nethept")
+    rng = np.random.default_rng(0)
+    true_graph = topology.with_weights(rng.uniform(0.02, 0.3, topology.m))
+    print(f"Ground truth: {topology} with U(0.02, 0.3) edge probabilities")
+
+    log = generate_action_log(true_graph, num_actions=4000, rng=rng)
+    print(
+        f"Simulated action log: {len(log)} actions, mean cascade size "
+        f"{log.mean_cascade_size():.1f}"
+    )
+
+    estimators = {
+        "bernoulli": bernoulli,
+        "jaccard": jaccard,
+        "partial credits": partial_credits,
+    }
+    print(f"\n{'Estimator':<16} {'MAE':>7} {'RMSE':>7} {'corr':>6} {'coverage':>9}")
+    print("-" * 50)
+    learned_graphs = {}
+    for name, estimator in estimators.items():
+        learned = estimator(true_graph, log)
+        learned_graphs[name] = learned
+        err = weight_error(true_graph, learned)
+        print(
+            f"{name:<16} {err.mae:>7.4f} {err.rmse:>7.4f} "
+            f"{err.correlation:>6.3f} {100 * err.coverage:>8.1f}%"
+        )
+
+    print("\nSeed-set transfer (EaSyIM, k=10, spreads on the TRUE graph):")
+    for name, learned in learned_graphs.items():
+        result = seed_set_transfer(
+            true_graph,
+            learned,
+            diffusion.IC,
+            algorithms.make("EaSyIM", path_length=3),
+            k=10,
+            rng=np.random.default_rng(1),
+            mc_simulations=500,
+        )
+        print(
+            f"  {name:<16} transferred {result['transferred_spread']:7.1f} "
+            f"vs oracle {result['true_spread']:7.1f} "
+            f"(ratio {result['transfer_ratio']:.2f})"
+        )
+    print(
+        "\nTakeaway: even moderately noisy weight estimates preserve the"
+        " seed ranking — task fidelity is more forgiving than weight"
+        " fidelity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: pick seeds with IMM and score them with Monte Carlo.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import algorithms, datasets, diffusion
+
+
+def main() -> None:
+    # 1. A social network.  The catalog ships scaled analogues of the
+    #    paper's eight datasets; nethept is the small collaboration graph.
+    topology = datasets.load("nethept")
+    print(f"Loaded {topology}")
+
+    # 2. A propagation model = diffusion dynamics + edge-weight scheme.
+    #    WC (weighted cascade) assigns W(u,v) = 1/|In(v)|.
+    model = diffusion.WC
+    graph = model.weighted(topology)
+
+    # 3. An IM algorithm.  IMM is the paper's recommendation for WC when
+    #    memory is plentiful (Fig. 11b).  rr_scale shrinks its theoretical
+    #    sample sizes to pure-Python scale.
+    algo = algorithms.make("IMM", epsilon=0.5, rr_scale=0.05)
+    result = algo.select(graph, k=20, model=model, rng=np.random.default_rng(0))
+    print(f"IMM picked {result.k} seeds in {result.elapsed_seconds:.2f}s")
+    print(f"Seeds: {result.seeds}")
+
+    # 4. Decoupled evaluation: never trust an algorithm's self-reported
+    #    spread (myth M4) — run Monte-Carlo simulations.
+    estimate = diffusion.monte_carlo_spread(
+        graph, result.seeds, model, r=2000, rng=np.random.default_rng(1)
+    )
+    print(
+        f"Expected spread: {estimate.mean:.1f} nodes "
+        f"(+/- {estimate.stderr:.1f}, {estimate.simulations} simulations)"
+    )
+    print(
+        f"IMM's own extrapolated estimate was "
+        f"{result.extras['extrapolated_spread']:.1f} — inflated, as the "
+        f"paper's myth M4 predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

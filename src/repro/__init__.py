@@ -1,0 +1,44 @@
+"""repro — an influence-maximization benchmarking platform.
+
+A complete, from-scratch Python reproduction of
+
+    Arora, Galhotra & Ranu.  *Debunking the Myths of Influence
+    Maximization: An In-Depth Benchmarking Study.*  SIGMOD 2017.
+
+Layout:
+
+* :mod:`repro.graph` — CSR digraphs, generators, edge-weight schemes.
+* :mod:`repro.datasets` — scaled analogues of the paper's eight datasets.
+* :mod:`repro.diffusion` — IC/LT cascades, MC spread, snapshots, RR sets.
+* :mod:`repro.algorithms` — the eleven benchmarked techniques + baselines.
+* :mod:`repro.framework` (aliased :mod:`repro.core`) — the benchmarking
+  platform itself: Alg. 3 runner, tuning, budgets, skyline.
+
+Quickstart::
+
+    import numpy as np
+    from repro import datasets, diffusion, algorithms
+
+    graph = diffusion.WC.weighted(datasets.load("nethept"))
+    algo = algorithms.make("IMM", epsilon=0.5, rr_scale=0.05)
+    result = algo.select(graph, k=20, model=diffusion.WC,
+                         rng=np.random.default_rng(0))
+    sigma = diffusion.monte_carlo_spread(graph, result.seeds, diffusion.WC,
+                                         r=1000)
+    print(result.seeds, sigma.mean)
+"""
+
+from . import algorithms, datasets, diffusion, framework, graph
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algorithms",
+    "core",
+    "datasets",
+    "diffusion",
+    "framework",
+    "graph",
+    "__version__",
+]

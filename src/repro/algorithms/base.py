@@ -1,0 +1,133 @@
+"""Common interface for all influence-maximization algorithms.
+
+Seed selection (Sec. 3.1.1) is the phase each technique implements; spread
+computation and convergence checks are shared framework phases and live in
+:mod:`repro.framework`.  ``select`` returns a :class:`SeedSelectionResult`
+carrying the chosen seeds plus algorithm-specific counters used by the myth
+experiments (node lookups for CELF/CELF++, extrapolated spreads for
+TIM+/IMM, scoring-round traces for IMRank, ...).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+import numpy as np
+
+from ..diffusion.models import Dynamics, PropagationModel
+from ..graph.digraph import DiGraph
+
+__all__ = ["Budget", "BudgetExceeded", "SeedSelectionResult", "IMAlgorithm"]
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when a selection run exceeds its time or memory budget.
+
+    ``status`` mirrors Table 3's vocabulary: ``"DNF"`` for a time-limit hit
+    ("did not finish even after 40 hours") and ``"CRASHED"`` for a memory
+    hit ("crashed due to running out of memory").
+    """
+
+    def __init__(self, status: str, detail: str) -> None:
+        super().__init__(f"{status}: {detail}")
+        self.status = status
+        self.detail = detail
+
+
+class Budget(Protocol):
+    """Anything with a ``check()`` that raises :class:`BudgetExceeded`."""
+
+    def check(self) -> None: ...  # pragma: no cover - protocol
+
+
+@dataclass
+class SeedSelectionResult:
+    """Outcome of one seed-selection run."""
+
+    algorithm: str
+    model: str
+    seeds: list[int]
+    elapsed_seconds: float = 0.0
+    #: Seed list prefixes are meaningful: ``seeds[:k']`` is the algorithm's
+    #: answer for any smaller budget k' <= k (true for every greedy-style
+    #: technique in the study).
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        return len(self.seeds)
+
+
+class IMAlgorithm(abc.ABC):
+    """Base class: seed-selection phase of the generalized IM module.
+
+    Subclasses set ``name``, ``supported`` dynamics, and the name of their
+    external parameter (Table 2), and implement :meth:`_select`.
+    """
+
+    name: str = "abstract"
+    supported: tuple[Dynamics, ...] = ()
+    #: Human-readable name of the external accuracy parameter, or None for
+    #: parameter-free techniques (LDAG, SIMPATH, IRIE) — Sec. 5.1.1.
+    external_parameter: str | None = None
+
+    def supports(self, model: PropagationModel | Dynamics) -> bool:
+        """Whether this technique runs under the given dynamics (Table 5)."""
+        dynamics = model.dynamics if isinstance(model, PropagationModel) else model
+        return dynamics in self.supported
+
+    def select(
+        self,
+        graph: DiGraph,
+        k: int,
+        model: PropagationModel,
+        rng: np.random.Generator | None = None,
+        budget: Budget | None = None,
+    ) -> SeedSelectionResult:
+        """Pick ``k`` seeds on a graph already weighted for ``model``."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if k > graph.n:
+            raise ValueError(f"k={k} exceeds the number of nodes ({graph.n})")
+        if not self.supports(model):
+            raise ValueError(f"{self.name} does not support the {model.name} model")
+        rng = np.random.default_rng() if rng is None else rng
+        started = time.perf_counter()
+        seeds, extras = self._select(graph, k, model, rng, budget)
+        elapsed = time.perf_counter() - started
+        if len(seeds) != k:
+            raise AssertionError(
+                f"{self.name} returned {len(seeds)} seeds, expected {k}"
+            )
+        if len(set(seeds)) != len(seeds):
+            raise AssertionError(f"{self.name} returned duplicate seeds")
+        return SeedSelectionResult(
+            algorithm=self.name,
+            model=model.name,
+            seeds=[int(s) for s in seeds],
+            elapsed_seconds=elapsed,
+            extras=extras,
+        )
+
+    @abc.abstractmethod
+    def _select(
+        self,
+        graph: DiGraph,
+        k: int,
+        model: PropagationModel,
+        rng: np.random.Generator,
+        budget: Budget | None,
+    ) -> tuple[list[int], dict[str, Any]]:
+        """Algorithm-specific seed selection; returns (seeds, extras)."""
+
+    @staticmethod
+    def _tick(budget: Budget | None) -> None:
+        """Cheap budget checkpoint for inner loops."""
+        if budget is not None:
+            budget.check()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-datasets``            the catalog with Table-1 statistics
+``support-matrix``           Table 5 (models supported per algorithm)
+``recommend``                the Fig.-11b decision tree
+``select``                   run one technique on a dataset and score it
+``tune``                     the Sec.-5.1.1 optimal-parameter procedure
+``report``                   aggregate benchmarks/results into markdown
+
+Examples::
+
+    python -m repro select --dataset nethept --model WC \
+        --algorithm IMM --k 20 --param epsilon=0.5 --param rr_scale=0.05
+    python -m repro recommend --model LT
+    python -m repro tune --dataset nethept --model WC --algorithm EaSyIM \
+        --parameter path_length --spectrum 6,4,3,2,1 --k 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import algorithms, datasets, diffusion
+from .framework import recommend, render_report, run_with_budget, tune_parameter
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_value(text: str):
+    """Best-effort literal: int, then float, then raw string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_params(items: list[str] | None) -> dict:
+    params = {}
+    for item in items or []:
+        if "=" not in item:
+            raise SystemExit(f"--param expects key=value, got {item!r}")
+        key, __, value = item.partition("=")
+        params[key] = _parse_value(value)
+    return params
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Influence-maximization benchmarking platform"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-datasets", help="catalog with Table-1 statistics")
+    sub.add_parser("support-matrix", help="Table 5: model support")
+
+    rec = sub.add_parser("recommend", help="Fig.-11b decision tree")
+    rec.add_argument("--model", required=True, choices=["IC", "WC", "LT", "TV"])
+    rec.add_argument("--memory-constrained", action="store_true")
+
+    sel = sub.add_parser("select", help="run one technique and score it")
+    sel.add_argument("--dataset", required=True)
+    sel.add_argument("--model", required=True, choices=["IC", "WC", "TV", "LT", "LT-random"])
+    sel.add_argument("--algorithm", required=True)
+    sel.add_argument("--k", type=int, required=True)
+    sel.add_argument("--param", action="append", metavar="KEY=VALUE")
+    sel.add_argument("--mc", type=int, default=1000, help="simulations for sigma(S)")
+    sel.add_argument("--seed", type=int, default=0, help="RNG seed")
+    sel.add_argument("--time-limit", type=float, default=None)
+    sel.add_argument("--memory-limit-mb", type=float, default=None)
+
+    tune = sub.add_parser("tune", help="Sec.-5.1.1 parameter tuning")
+    tune.add_argument("--dataset", required=True)
+    tune.add_argument("--model", required=True, choices=["IC", "WC", "TV", "LT", "LT-random"])
+    tune.add_argument("--algorithm", required=True)
+    tune.add_argument("--parameter", required=True)
+    tune.add_argument("--spectrum", required=True,
+                      help="comma-separated values, most accurate first")
+    tune.add_argument("--k", type=int, required=True)
+    tune.add_argument("--mc", type=int, default=500)
+    tune.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser("report", help="aggregate bench results")
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--output", default=None,
+                        help="write to a file instead of stdout")
+    return parser
+
+
+def _cmd_list_datasets() -> int:
+    print(datasets.table1_rows())
+    return 0
+
+
+def _cmd_support_matrix() -> int:
+    print(algorithms.support_matrix())
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    choice = recommend(args.model, memory_constrained=args.memory_constrained)
+    constraint = "scarce" if args.memory_constrained else "ample"
+    print(f"{args.model} with {constraint} memory -> {choice}")
+    return 0
+
+
+def _cmd_select(args) -> int:
+    model = diffusion.model_by_name(args.model)
+    graph = model.weighted(datasets.load(args.dataset), np.random.default_rng(0))
+    algo = algorithms.make(args.algorithm, **_parse_params(args.param))
+    record, __ = run_with_budget(
+        algo,
+        graph,
+        args.k,
+        model,
+        rng=np.random.default_rng(args.seed),
+        time_limit_seconds=args.time_limit,
+        memory_limit_mb=args.memory_limit_mb,
+        track_memory=args.memory_limit_mb is not None,
+    )
+    if not record.ok:
+        print(f"{args.algorithm} on {args.dataset}/{args.model}: {record.status}")
+        return 1
+    estimate = diffusion.monte_carlo_spread(
+        graph, record.seeds, model, r=args.mc,
+        rng=np.random.default_rng(args.seed + 1),
+    )
+    print(f"algorithm : {args.algorithm}")
+    print(f"dataset   : {args.dataset} ({graph.n} nodes, {graph.m} arcs)")
+    print(f"model     : {args.model}")
+    print(f"seeds     : {record.seeds}")
+    print(f"time      : {record.elapsed_seconds:.3f}s")
+    print(f"spread    : {estimate.mean:.1f} +/- {estimate.stderr:.1f} "
+          f"({args.mc} simulations)")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    model = diffusion.model_by_name(args.model)
+    graph = model.weighted(datasets.load(args.dataset), np.random.default_rng(0))
+    spectrum = [_parse_value(v) for v in args.spectrum.split(",")]
+    result = tune_parameter(
+        args.algorithm,
+        args.parameter,
+        spectrum,
+        graph,
+        model,
+        args.k,
+        mc_simulations=args.mc,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(result.table())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    text = render_report(args.results_dir)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-datasets": lambda: _cmd_list_datasets(),
+        "support-matrix": lambda: _cmd_support_matrix(),
+        "recommend": lambda: _cmd_recommend(args),
+        "select": lambda: _cmd_select(args),
+        "tune": lambda: _cmd_tune(args),
+        "report": lambda: _cmd_report(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

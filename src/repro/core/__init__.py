@@ -1,0 +1,56 @@
+"""The paper's primary contribution, re-exported under ``repro.core``.
+
+The contribution of the benchmarking paper *is* the platform of Fig. 2:
+the generalized IM module (Alg. 3), the decoupled spread computation, the
+parameter-tuning procedure, resource budgeting, and the skyline insights.
+Those live in :mod:`repro.framework`; this package aliases them at the
+conventional ``repro.core`` location.
+"""
+
+from ..framework import (
+    FrameworkTrace,
+    IMFramework,
+    MCConvergencePoint,
+    Measurement,
+    PillarScores,
+    ResourceBudget,
+    RunRecord,
+    SweepPoint,
+    TuningResult,
+    classify_pillars,
+    converged,
+    load_records,
+    mc_convergence_study,
+    measure,
+    recommend,
+    render_series,
+    render_table,
+    run_with_budget,
+    save_records,
+    skyline,
+    tune_parameter,
+)
+
+__all__ = [
+    "FrameworkTrace",
+    "IMFramework",
+    "MCConvergencePoint",
+    "Measurement",
+    "PillarScores",
+    "ResourceBudget",
+    "RunRecord",
+    "SweepPoint",
+    "TuningResult",
+    "classify_pillars",
+    "converged",
+    "load_records",
+    "mc_convergence_study",
+    "measure",
+    "recommend",
+    "render_series",
+    "render_table",
+    "run_with_budget",
+    "save_records",
+    "skyline",
+    "tune_parameter",
+]

@@ -1,0 +1,25 @@
+"""Synthetic analogues of the paper's eight benchmark datasets."""
+
+from .catalog import (
+    DATASETS,
+    LARGE_DATASETS,
+    SMALL_DATASETS,
+    DatasetSpec,
+    load,
+    names,
+    spec,
+    summary,
+    table1_rows,
+)
+
+__all__ = [
+    "DATASETS",
+    "LARGE_DATASETS",
+    "SMALL_DATASETS",
+    "DatasetSpec",
+    "load",
+    "names",
+    "spec",
+    "summary",
+    "table1_rows",
+]

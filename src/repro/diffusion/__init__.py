@@ -1,0 +1,66 @@
+"""Diffusion substrate: models, cascade simulators, MC estimation, worlds."""
+
+from .models import (
+    IC,
+    LT,
+    LT_RANDOM,
+    STANDARD_MODELS,
+    TV,
+    WC,
+    Dynamics,
+    PropagationModel,
+    model_by_name,
+    weighted_graph,
+)
+from .independent_cascade import simulate_ic, simulate_ic_times
+from .linear_threshold import simulate_lt
+from .simulation import (
+    DEFAULT_MC_SIMULATIONS,
+    SpreadEstimate,
+    monte_carlo_spread,
+    simulate_spread,
+)
+from .snapshots import (
+    Snapshot,
+    generate_ic_snapshot,
+    generate_lt_snapshot,
+    strongly_connected_components,
+)
+from .opinion import (
+    OpinionEstimate,
+    assign_opinions,
+    monte_carlo_opinion_spread,
+    simulate_opinion_spread,
+)
+from .rrsets import RRCollection, greedy_max_cover, random_rr_set
+
+__all__ = [
+    "IC",
+    "LT",
+    "LT_RANDOM",
+    "STANDARD_MODELS",
+    "TV",
+    "WC",
+    "Dynamics",
+    "PropagationModel",
+    "model_by_name",
+    "weighted_graph",
+    "simulate_ic",
+    "simulate_ic_times",
+    "simulate_lt",
+    "DEFAULT_MC_SIMULATIONS",
+    "SpreadEstimate",
+    "monte_carlo_spread",
+    "simulate_spread",
+    "Snapshot",
+    "generate_ic_snapshot",
+    "generate_lt_snapshot",
+    "strongly_connected_components",
+    "OpinionEstimate",
+    "assign_opinions",
+    "monte_carlo_opinion_spread",
+    "simulate_opinion_spread",
+    "RRCollection",
+    "greedy_max_cover",
+    "random_rr_set",
+]

@@ -1,0 +1,26 @@
+"""Vectorized gathering of the out-edges of a node frontier.
+
+Shared by the cascade simulators: given CSR pointers and a set of frontier
+nodes, produce the flat index array of every edge leaving the frontier in a
+single numpy expression (no per-node Python loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gather_edges"]
+
+
+def gather_edges(ptr: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Indices (into the CSR edge arrays) of all edges leaving ``nodes``."""
+    starts = ptr[nodes]
+    counts = ptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # For each edge slot, its offset within its node's slice, then shift by
+    # the slice start: classic CSR expansion without a Python loop.
+    ends = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return np.repeat(starts, counts) + within

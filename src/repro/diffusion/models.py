@@ -1,0 +1,104 @@
+"""Propagation models: diffusion dynamics paired with a weight scheme.
+
+The paper's experimental setup (Sec. 5.1) uses three named models:
+
+* ``IC``  — Independent Cascade dynamics, constant weights W(u,v) = 0.1,
+* ``WC``  — Independent Cascade dynamics, weighted-cascade weights 1/|In(v)|,
+* ``LT``  — Linear Threshold dynamics, uniform weights 1/|In(v)|.
+
+The remaining schemes of Sec. 2.1 (tri-valency, LT-random, LT-parallel
+edges) are also provided so the myth experiments (M5, Table 4) can swap
+them in.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..graph import weights as weight_schemes
+from ..graph.digraph import DiGraph
+
+__all__ = [
+    "Dynamics",
+    "PropagationModel",
+    "IC",
+    "WC",
+    "TV",
+    "LT",
+    "LT_RANDOM",
+    "STANDARD_MODELS",
+    "model_by_name",
+    "weighted_graph",
+]
+
+
+class Dynamics(enum.Enum):
+    """The two diffusion processes of Definitions 4 and 5."""
+
+    IC = "independent-cascade"
+    LT = "linear-threshold"
+
+
+@dataclass(frozen=True)
+class PropagationModel:
+    """A named (dynamics, weight-scheme) pair.
+
+    ``assign`` maps an unweighted topology to a weighted graph; schemes that
+    draw random weights take the generator argument, deterministic schemes
+    ignore it.
+    """
+
+    name: str
+    dynamics: Dynamics
+    assign: Callable[[DiGraph, np.random.Generator], DiGraph] = field(compare=False)
+
+    def weighted(self, graph: DiGraph, rng: np.random.Generator | None = None) -> DiGraph:
+        """Return ``graph`` with this model's edge weights applied."""
+        rng = np.random.default_rng(0) if rng is None else rng
+        return self.assign(graph, rng)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+IC = PropagationModel(
+    "IC", Dynamics.IC, lambda g, rng: weight_schemes.constant(g, 0.1)
+)
+WC = PropagationModel(
+    "WC", Dynamics.IC, lambda g, rng: weight_schemes.weighted_cascade(g)
+)
+TV = PropagationModel(
+    "TV", Dynamics.IC, lambda g, rng: weight_schemes.trivalency(g, rng=rng)
+)
+LT = PropagationModel(
+    "LT", Dynamics.LT, lambda g, rng: weight_schemes.lt_uniform(g)
+)
+LT_RANDOM = PropagationModel(
+    "LT-random", Dynamics.LT, lambda g, rng: weight_schemes.lt_random(g, rng=rng)
+)
+
+#: The three models every experiment section sweeps (Sec. 5.1).
+STANDARD_MODELS: tuple[PropagationModel, ...] = (IC, WC, LT)
+
+_BY_NAME = {m.name: m for m in (IC, WC, TV, LT, LT_RANDOM)}
+
+
+def model_by_name(name: str) -> PropagationModel:
+    """Look up a model by its paper name (``IC``, ``WC``, ``TV``, ``LT``...)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; options: {', '.join(_BY_NAME)}"
+        ) from None
+
+
+def weighted_graph(
+    graph: DiGraph, model: PropagationModel, rng: np.random.Generator | None = None
+) -> DiGraph:
+    """Convenience wrapper for :meth:`PropagationModel.weighted`."""
+    return model.weighted(graph, rng)

@@ -1,0 +1,62 @@
+"""The benchmarking framework of Fig. 2 — the paper's core contribution."""
+
+from .asciiplot import line_chart
+from .convergence import MCConvergencePoint, converged, mc_convergence_study
+from .experiments import (
+    SweepConfig,
+    head_to_head,
+    memory_sweep,
+    pillar_scores,
+    quality_sweep,
+)
+from .metrics import (
+    STATUS_CRASHED,
+    STATUS_DNF,
+    STATUS_OK,
+    Measurement,
+    ResourceBudget,
+    RunRecord,
+    measure,
+    run_with_budget,
+)
+from .report import EXPERIMENT_ORDER, collect_results, render_report
+from .results import load_records, render_series, render_table, save_records
+from .runner import FrameworkTrace, IMFramework
+from .skyline import PillarScores, classify_pillars, recommend, skyline
+from .tuning import SweepPoint, TuningResult, tune_parameter
+
+__all__ = [
+    "line_chart",
+    "SweepConfig",
+    "head_to_head",
+    "memory_sweep",
+    "pillar_scores",
+    "quality_sweep",
+    "MCConvergencePoint",
+    "converged",
+    "mc_convergence_study",
+    "STATUS_CRASHED",
+    "STATUS_DNF",
+    "STATUS_OK",
+    "Measurement",
+    "ResourceBudget",
+    "RunRecord",
+    "measure",
+    "run_with_budget",
+    "EXPERIMENT_ORDER",
+    "collect_results",
+    "render_report",
+    "load_records",
+    "render_series",
+    "render_table",
+    "save_records",
+    "FrameworkTrace",
+    "IMFramework",
+    "PillarScores",
+    "classify_pillars",
+    "recommend",
+    "skyline",
+    "SweepPoint",
+    "TuningResult",
+    "tune_parameter",
+]

@@ -1,0 +1,88 @@
+"""Terminal line charts for the paper-figure series.
+
+The benchmarks print their data as aligned columns; for eyeballing the
+*shape* of a figure (crossovers, blow-ups) a picture helps even in a
+terminal.  :func:`line_chart` renders multiple series against a shared x
+axis with per-series marker characters and an optional log-scaled y axis
+(most of the paper's time/memory figures are log-scale).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log_scale: bool) -> float:
+    if log_scale:
+        return math.log10(max(value, 1e-12))
+    return value
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float | None]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render series as an ASCII chart; ``None`` points are skipped.
+
+    Values must be positive when ``log_y`` is set.  Each series gets the
+    next marker from ``oxX*#@%&``; a legend is appended.
+    """
+    if not xs:
+        raise ValueError("xs must be non-empty")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+
+    points: list[tuple[int, float, float]] = []  # (series idx, x, y)
+    for idx, (name, ys) in enumerate(series.items()):
+        for x, y in zip(xs, ys):
+            if y is None:
+                continue
+            points.append((idx, float(x), _transform(float(y), log_y)))
+    if not points:
+        return f"{title}\n(no data)"
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_values = [p[2] for p in points]
+    y_lo, y_hi = min(y_values), max(y_values)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for idx, x, y in points:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y - y_lo) / y_span * (height - 1)))
+        row = height - 1 - row  # terminal rows grow downward
+        marker = _MARKERS[idx % len(_MARKERS)]
+        cell = grid[row][col]
+        grid[row][col] = "*" if cell not in (" ", marker) else marker
+
+    def y_label(value: float) -> str:
+        raw = 10**value if log_y else value
+        return f"{raw:10.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label, bottom_label = y_label(y_hi), y_label(y_lo)
+    for i, row in enumerate(grid):
+        label = top_label if i == 0 else (bottom_label if i == height - 1 else " " * 10)
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(f"{'':10}  x: {x_lo:g} .. {x_hi:g}"
+                 + ("   (log y)" if log_y else ""))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Convergence machinery (Sec. 3.1.3 and Fig. 12).
+
+Two separate convergence questions appear in the paper:
+
+1. **Parameter convergence** — is the spread at a cheaper external
+   parameter still within one standard deviation of the best spread?
+   (:func:`converged`, used by the framework runner and the tuner.)
+2. **MC convergence** — how many Monte-Carlo simulations until the spread
+   estimate stabilizes?  The paper settles on 10K via the experiment of
+   Fig. 12; :func:`mc_convergence_study` regenerates that curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..diffusion.models import PropagationModel
+from ..diffusion.simulation import SpreadEstimate, monte_carlo_spread
+from ..graph.digraph import DiGraph
+
+__all__ = ["converged", "MCConvergencePoint", "mc_convergence_study"]
+
+
+def converged(
+    best: SpreadEstimate,
+    candidate: SpreadEstimate,
+    tolerance_std: float = 1.0,
+) -> bool:
+    """Sec 5.1.1 criterion: candidate within ``tolerance_std``·sd of best."""
+    return candidate.mean >= best.mean - tolerance_std * best.std
+
+
+@dataclass(frozen=True)
+class MCConvergencePoint:
+    """Spread estimate at one simulation count (one x of Fig. 12)."""
+
+    simulations: int
+    mean: float
+    std_of_mean: float
+
+
+def mc_convergence_study(
+    graph: DiGraph,
+    seeds: list[int],
+    model: PropagationModel,
+    simulation_counts: tuple[int, ...] = (100, 500, 1000, 2000, 4000),
+    repeats: int = 5,
+    rng: np.random.Generator | None = None,
+) -> list[MCConvergencePoint]:
+    """How mean and run-to-run deviation of σ̂(S) evolve with r (Fig. 12).
+
+    For each r, the estimate is recomputed ``repeats`` times with
+    independent randomness; the reported deviation is across repeats (the
+    error bar of Fig. 12).
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    points = []
+    for r in simulation_counts:
+        means = [
+            monte_carlo_spread(graph, seeds, model, r=r, rng=rng).mean
+            for __ in range(repeats)
+        ]
+        arr = np.asarray(means)
+        points.append(
+            MCConvergencePoint(
+                simulations=r,
+                mean=float(arr.mean()),
+                std_of_mean=float(arr.std(ddof=1)) if repeats > 1 else 0.0,
+            )
+        )
+    return points

@@ -1,0 +1,178 @@
+"""Resource measurement and budget enforcement.
+
+The paper's testbed policies — "DNF indicates that the algorithm did not
+terminate even after 40 hours", "Crashed indicates that the algorithm
+crashed due to running out of memory" (Table 3) — are reproduced here as
+a :class:`ResourceBudget` that selection code checkpoints against, plus a
+:func:`run_with_budget` harness that converts budget violations into
+statuses instead of exceptions.
+
+Memory is tracked with :mod:`tracemalloc` (peak traced allocation), which
+slows Python by a small constant factor; it is optional for pure-runtime
+benches.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..algorithms.base import BudgetExceeded, IMAlgorithm, SeedSelectionResult
+from ..diffusion.models import PropagationModel
+from ..graph.digraph import DiGraph
+
+__all__ = [
+    "ResourceBudget",
+    "Measurement",
+    "measure",
+    "RunRecord",
+    "run_with_budget",
+    "STATUS_OK",
+    "STATUS_DNF",
+    "STATUS_CRASHED",
+]
+
+STATUS_OK = "OK"
+STATUS_DNF = "DNF"
+STATUS_CRASHED = "CRASHED"
+
+
+class ResourceBudget:
+    """Time and memory ceilings checked cooperatively from inner loops."""
+
+    def __init__(
+        self,
+        time_limit_seconds: float | None = None,
+        memory_limit_mb: float | None = None,
+    ) -> None:
+        self.time_limit_seconds = time_limit_seconds
+        self.memory_limit_mb = memory_limit_mb
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        self._started_at = time.perf_counter()
+
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.perf_counter() - self._started_at
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceeded` if either ceiling is breached."""
+        if self.time_limit_seconds is not None and self._started_at is not None:
+            if self.elapsed() > self.time_limit_seconds:
+                raise BudgetExceeded(
+                    STATUS_DNF,
+                    f"exceeded time limit of {self.time_limit_seconds:.1f}s",
+                )
+        if self.memory_limit_mb is not None and tracemalloc.is_tracing():
+            __, peak = tracemalloc.get_traced_memory()
+            if peak / 1e6 > self.memory_limit_mb:
+                raise BudgetExceeded(
+                    STATUS_CRASHED,
+                    f"exceeded memory limit of {self.memory_limit_mb:.0f} MB",
+                )
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Wall time and peak traced memory of a measured block."""
+
+    elapsed_seconds: float
+    peak_memory_mb: float | None
+
+
+@contextmanager
+def measure(track_memory: bool = True) -> Iterator[list[Measurement]]:
+    """Context manager appending one :class:`Measurement` to the yielded list."""
+    sink: list[Measurement] = []
+    was_tracing = tracemalloc.is_tracing()
+    if track_memory and not was_tracing:
+        tracemalloc.start()
+    if track_memory and tracemalloc.is_tracing():
+        tracemalloc.reset_peak()
+    started = time.perf_counter()
+    try:
+        yield sink
+    finally:
+        elapsed = time.perf_counter() - started
+        peak_mb: float | None = None
+        if track_memory and tracemalloc.is_tracing():
+            __, peak = tracemalloc.get_traced_memory()
+            peak_mb = peak / 1e6
+            if not was_tracing:
+                tracemalloc.stop()
+        sink.append(Measurement(elapsed, peak_mb))
+
+
+@dataclass
+class RunRecord:
+    """One (algorithm, dataset, model, k) cell of the paper's tables."""
+
+    algorithm: str
+    model: str
+    k: int
+    status: str
+    seeds: list[int] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    peak_memory_mb: float | None = None
+    spread: float | None = None
+    spread_std: float | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def cell(self) -> str:
+        """Table-3-style cell: spread/time/memory or DNF/Crashed."""
+        if not self.ok:
+            return self.status
+        mem = f"{self.peak_memory_mb:.0f}MB" if self.peak_memory_mb else "-"
+        spread = f"{self.spread:.1f}" if self.spread is not None else "-"
+        return f"{spread} / {self.elapsed_seconds:.2f}s / {mem}"
+
+
+def run_with_budget(
+    algorithm: IMAlgorithm,
+    graph: DiGraph,
+    k: int,
+    model: PropagationModel,
+    rng: np.random.Generator | None = None,
+    time_limit_seconds: float | None = None,
+    memory_limit_mb: float | None = None,
+    track_memory: bool = True,
+) -> tuple[RunRecord, SeedSelectionResult | None]:
+    """Run seed selection under a budget, mapping violations to statuses."""
+    rng = np.random.default_rng() if rng is None else rng
+    budget = ResourceBudget(time_limit_seconds, memory_limit_mb)
+    budget.start()
+    result: SeedSelectionResult | None = None
+    status = STATUS_OK
+    detail: dict[str, Any] = {}
+    with measure(track_memory=track_memory) as sink:
+        try:
+            result = algorithm.select(graph, k, model, rng=rng, budget=budget)
+        except BudgetExceeded as exc:
+            status = exc.status
+            detail["budget_detail"] = exc.detail
+        except MemoryError:  # pragma: no cover - genuine OOM
+            status = STATUS_CRASHED
+            detail["budget_detail"] = "MemoryError"
+    m = sink[0]
+    record = RunRecord(
+        algorithm=algorithm.name,
+        model=model.name,
+        k=k,
+        status=status,
+        seeds=result.seeds if result else [],
+        elapsed_seconds=m.elapsed_seconds,
+        peak_memory_mb=m.peak_memory_mb,
+        extras={**(result.extras if result else {}), **detail},
+    )
+    return record, result

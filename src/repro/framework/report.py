@@ -1,0 +1,100 @@
+"""Aggregate bench outputs into a single reproduction report.
+
+Every benchmark writes its rendered table/series under
+``benchmarks/results/<experiment>.txt``.  This module stitches those files
+into one markdown document ordered like the paper's evaluation, so the
+full reproduction status is reviewable at a glance (and EXPERIMENTS.md can
+embed it).  Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Iterable
+
+__all__ = ["EXPERIMENT_ORDER", "collect_results", "render_report"]
+
+#: Canonical ordering and human titles, following the paper's evaluation.
+EXPERIMENT_ORDER: tuple[tuple[str, str], ...] = (
+    ("fig01a_imm_ic_vs_wc", "Fig. 1a — IMM under IC vs WC (motivation)"),
+    ("fig01bc_easyim_vs_imm", "Fig. 1b-c — EaSyIM vs IMM time & memory"),
+    ("table1_datasets", "Table 1 — dataset summary"),
+    ("fig04abc_mc_simulations", "Fig. 4a-c — MC-simulation tuning"),
+    ("fig04de_imrank_rounds", "Fig. 4d-e — IMRank scoring-round tuning"),
+    ("fig04fg_snapshots", "Fig. 4f-g — snapshot-count tuning"),
+    ("fig04hij_epsilon", "Fig. 4h-j — epsilon tuning"),
+    ("fig15_16_appendix_sweeps", "Figs. 15-16 — appendix tuning sweeps"),
+    ("table2_optimal_parameters", "Table 2 — optimal parameters"),
+    ("fig05_imrank_rounds", "Fig. 5 — IMRank spread vs scoring rounds"),
+    ("fig06_quality", "Fig. 6 — spread vs #seeds"),
+    ("fig07_runtime", "Fig. 7 — running time vs #seeds"),
+    ("fig08_memory", "Fig. 8 — memory vs #seeds"),
+    ("table3_large_datasets", "Table 3 — large datasets at k=200"),
+    ("fig09ab_13_celf_vs_celfpp", "Figs. 9a-b & 13 — CELF vs CELF++ (M1)"),
+    ("fig09cde_celf_mc_quality", "Fig. 9c-e — CELF spread vs MC count (M2)"),
+    ("fig10ab_table4_simpath_ldag", "Fig. 10a-b & Table 4 — SIMPATH vs LDAG (M5)"),
+    ("fig10ab_quality_parity", "Fig. 10a-b — LDAG/SIMPATH quality parity"),
+    ("fig10cde_extrapolation", "Fig. 10c-e — extrapolated vs MC spread (M4)"),
+    ("fig10f_imrank_convergence", "Fig. 10f — IMRank stopping criteria (M7)"),
+    ("fig11_skyline", "Fig. 11 — skyline and decision tree"),
+    ("fig12_mc_convergence", "Fig. 12 — MC convergence"),
+    ("table5_support_matrix", "Table 5 — model support"),
+    ("evolution_ssa", "Evolution — SSA/D-SSA/SKIM/PMIA join the platform"),
+    ("robustness_randomness", "Robustness — run-to-run variance"),
+    ("robustness_weight_scheme", "Robustness — across weight schemes"),
+    ("ablation_celf_laziness", "Ablation — CELF laziness"),
+    ("ablation_pmc_scc", "Ablation — PMC SCC contraction"),
+    ("ablation_simpath_eta", "Ablation — SIMPATH pruning threshold"),
+    ("ablation_imm_pool_reuse", "Ablation — IMM pool reuse"),
+)
+
+
+def collect_results(results_dir: str | os.PathLike) -> dict[str, str]:
+    """Read every ``<experiment>.txt`` under ``results_dir``."""
+    directory = pathlib.Path(results_dir)
+    found: dict[str, str] = {}
+    if not directory.is_dir():
+        return found
+    for path in sorted(directory.glob("*.txt")):
+        found[path.stem] = path.read_text().rstrip()
+    return found
+
+
+def render_report(
+    results_dir: str | os.PathLike,
+    order: Iterable[tuple[str, str]] = EXPERIMENT_ORDER,
+) -> str:
+    """One markdown document covering every produced experiment.
+
+    Experiments without a results file are listed as *not yet run*;
+    results files without a known title are appended at the end so nothing
+    silently disappears.
+    """
+    results = collect_results(results_dir)
+    lines = ["# Reproduction report", ""]
+    seen: set[str] = set()
+    for stem, title in order:
+        lines.append(f"## {title}")
+        lines.append("")
+        if stem in results:
+            lines.append("```")
+            lines.append(results[stem])
+            lines.append("```")
+            seen.add(stem)
+        else:
+            lines.append(f"*not yet run — `pytest benchmarks/ --benchmark-only` "
+                         f"produces `{stem}.txt`*")
+        lines.append("")
+    extras = sorted(set(results) - seen)
+    if extras:
+        lines.append("## Additional outputs")
+        lines.append("")
+        for stem in extras:
+            lines.append(f"### {stem}")
+            lines.append("")
+            lines.append("```")
+            lines.append(results[stem])
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Result records: JSON round-trip and ASCII rendering.
+
+Benchmarks accumulate :class:`~repro.framework.metrics.RunRecord` objects;
+this module persists them and renders the paper-style tables so bench
+output can be compared against the published figures line by line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Iterable, Sequence
+
+from .metrics import RunRecord
+
+__all__ = ["save_records", "load_records", "render_table", "render_series"]
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and arrays hiding in extras to JSON types."""
+    if hasattr(value, "item") and not isinstance(value, (list, dict, str)):
+        try:
+            return value.item()
+        except (AttributeError, ValueError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def save_records(records: Iterable[RunRecord], path: str | os.PathLike) -> None:
+    """Serialize records to a JSON file."""
+    payload = [_jsonable(asdict(r)) for r in records]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_records(path: str | os.PathLike) -> list[RunRecord]:
+    """Load records previously written by :func:`save_records`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return [RunRecord(**item) for item in payload]
+
+
+def render_table(
+    records: Sequence[RunRecord],
+    columns: Sequence[str] = ("algorithm", "model", "k", "status", "spread", "elapsed_seconds", "peak_memory_mb"),
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table of selected record fields."""
+    headers = {
+        "algorithm": "Algorithm",
+        "model": "Model",
+        "k": "k",
+        "status": "Status",
+        "spread": "Spread",
+        "spread_std": "Spread sd",
+        "elapsed_seconds": "Time (s)",
+        "peak_memory_mb": "Mem (MB)",
+    }
+
+    def fmt(record: RunRecord, col: str) -> str:
+        value = getattr(record, col)
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    rows = [[headers.get(c, c) for c in columns]]
+    rows += [[fmt(r, c) for c in columns] for r in records]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    for idx, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence],
+    title: str | None = None,
+) -> str:
+    """Paper-figure data as aligned columns: one x column, one per series."""
+    names = list(series)
+    rows = [[x_label] + names]
+    for i, x in enumerate(xs):
+        row = [str(x)]
+        for name in names:
+            value = series[name][i]
+            if value is None:
+                row.append("-")
+            elif isinstance(value, float):
+                row.append(f"{value:.3f}")
+            else:
+                row.append(str(value))
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = []
+    if title:
+        lines.append(title)
+    for idx, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Skyline analysis and the decision tree of Fig. 11.
+
+The concluding insight of the paper: IM techniques stand on (at most two
+of) three pillars — quality of spread, running-time efficiency, and main
+memory footprint — and *no* technique stands on all three.  This module
+computes the skyline (Pareto frontier) over measured (quality, time,
+memory) triples, classifies techniques into the Q/E/M categories of
+Fig. 11a, and encodes the decision tree of Fig. 11b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "PillarScores",
+    "skyline",
+    "classify_pillars",
+    "recommend",
+]
+
+
+@dataclass(frozen=True)
+class PillarScores:
+    """Measured performance of one technique (higher quality is better;
+    lower time and memory are better)."""
+
+    name: str
+    quality: float
+    time_seconds: float
+    memory_mb: float
+
+    def dominates(self, other: "PillarScores") -> bool:
+        """Pareto dominance over (quality, time, memory)."""
+        no_worse = (
+            self.quality >= other.quality
+            and self.time_seconds <= other.time_seconds
+            and self.memory_mb <= other.memory_mb
+        )
+        strictly_better = (
+            self.quality > other.quality
+            or self.time_seconds < other.time_seconds
+            or self.memory_mb < other.memory_mb
+        )
+        return no_worse and strictly_better
+
+
+def skyline(scores: Iterable[PillarScores]) -> list[PillarScores]:
+    """Techniques not Pareto-dominated by any other."""
+    items = list(scores)
+    return [
+        s
+        for s in items
+        if not any(other.dominates(s) for other in items if other is not s)
+    ]
+
+
+def classify_pillars(
+    scores: Sequence[PillarScores],
+    quality_band: float = 0.95,
+    time_band: float = 10.0,
+    memory_band: float = 10.0,
+) -> dict[str, set[str]]:
+    """Assign each technique the pillars it stands on (Fig. 11a).
+
+    A technique earns Q if its quality is within ``quality_band`` of the
+    best; E if its time is within a factor ``time_band`` of the fastest;
+    M if its memory is within a factor ``memory_band`` of the smallest.
+    The generous factor bands mirror the paper's log-scale plots, where
+    techniques within roughly one decade share a pillar.
+    """
+    if not scores:
+        return {}
+    best_quality = max(s.quality for s in scores)
+    best_time = min(s.time_seconds for s in scores)
+    best_memory = min(s.memory_mb for s in scores)
+    assignment: dict[str, set[str]] = {}
+    for s in scores:
+        pillars: set[str] = set()
+        if best_quality <= 0 or s.quality >= quality_band * best_quality:
+            pillars.add("Q")
+        if s.time_seconds <= time_band * max(best_time, 1e-12):
+            pillars.add("E")
+        if s.memory_mb <= memory_band * max(best_memory, 1e-12):
+            pillars.add("M")
+        assignment[s.name] = pillars
+    return assignment
+
+
+def recommend(model: str, memory_constrained: bool = False) -> str:
+    """The decision tree of Fig. 11b.
+
+    With ample memory: TIM+ for LT, IMM for WC, PMC for IC with uniform
+    weights.  With scarce memory, EaSyIM "easily out-performs the other
+    three techniques in memory footprint, while also generating reasonable
+    quality and efficiency."
+    """
+    model = model.upper()
+    if model not in ("IC", "WC", "LT", "TV"):
+        raise ValueError(f"unknown model {model!r}")
+    if memory_constrained:
+        return "EaSyIM"
+    if model == "LT":
+        return "TIM+"
+    if model == "WC":
+        return "IMM"
+    return "PMC"

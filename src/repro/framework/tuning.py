@@ -1,0 +1,146 @@
+"""Optimal external-parameter selection — Sec. 5.1.1 / Table 2 / Fig. 4.
+
+The paper's generic procedure, verbatim:
+
+1. Sweep the parameter X over its spectrum; record spread and time.
+2. X* is the value attaining the highest spread (within a reasonable time
+   limit); μ* and sd* are the mean and standard deviation of the spread at
+   X* across the MC simulations.
+3. The *optimal* value is the one minimizing running time among values
+   whose spread is at least μ* − sd* — "the value that optimizes the
+   running time while being at most one standard deviation away from the
+   best possible spread."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..algorithms import registry
+from ..diffusion.models import PropagationModel
+from ..diffusion.simulation import monte_carlo_spread
+from ..graph.digraph import DiGraph
+from .metrics import RunRecord, run_with_budget
+
+__all__ = ["SweepPoint", "TuningResult", "tune_parameter"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter value's measurements."""
+
+    value: Any
+    spread_mean: float
+    spread_std: float
+    elapsed_seconds: float
+    status: str
+
+
+@dataclass
+class TuningResult:
+    """Outcome of the Sec.-5.1.1 procedure for one (algorithm, model, k)."""
+
+    algorithm: str
+    model: str
+    k: int
+    parameter: str
+    points: list[SweepPoint] = field(default_factory=list)
+    best_value: Any = None  # X*
+    mu_star: float = float("nan")
+    sd_star: float = float("nan")
+    optimal_value: Any = None
+
+    def table(self) -> str:
+        lines = [
+            f"{self.algorithm} / {self.model} / k={self.k} "
+            f"(parameter: {self.parameter})",
+            f"{'value':>12} {'spread':>10} {'sd':>8} {'time (s)':>10} {'status':>8}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.value!s:>12} {p.spread_mean:>10.1f} {p.spread_std:>8.1f} "
+                f"{p.elapsed_seconds:>10.3f} {p.status:>8}"
+            )
+        lines.append(
+            f"X* = {self.best_value} (mu* = {self.mu_star:.1f}, sd* = {self.sd_star:.1f})"
+            f" -> optimal = {self.optimal_value}"
+        )
+        return "\n".join(lines)
+
+
+def tune_parameter(
+    algorithm_name: str,
+    parameter: str,
+    spectrum: Sequence[Any],
+    graph: DiGraph,
+    model: PropagationModel,
+    k: int,
+    mc_simulations: int = 1000,
+    rng: np.random.Generator | None = None,
+    time_limit_seconds: float | None = None,
+    fixed_params: dict[str, Any] | None = None,
+    tolerance_std: float = 1.0,
+) -> TuningResult:
+    """Run the full Sec.-5.1.1 tuning procedure.
+
+    ``spectrum`` may be in any order; ``fixed_params`` lets callers pin
+    implementation knobs (e.g. ``rr_scale``) while sweeping the paper
+    parameter.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    fixed = dict(fixed_params or {})
+    result = TuningResult(
+        algorithm=algorithm_name, model=model.name, k=k, parameter=parameter
+    )
+    for value in spectrum:
+        params = dict(fixed)
+        params[parameter] = value
+        algorithm = registry.make(algorithm_name, **params)
+        record, __ = run_with_budget(
+            algorithm,
+            graph,
+            k,
+            model,
+            rng=rng,
+            time_limit_seconds=time_limit_seconds,
+            track_memory=False,
+        )
+        if record.ok:
+            estimate = monte_carlo_spread(
+                graph, record.seeds, model, r=mc_simulations, rng=rng
+            )
+            point = SweepPoint(
+                value=value,
+                spread_mean=estimate.mean,
+                spread_std=estimate.std,
+                elapsed_seconds=record.elapsed_seconds,
+                status=record.status,
+            )
+        else:
+            point = SweepPoint(
+                value=value,
+                spread_mean=float("-inf"),
+                spread_std=0.0,
+                elapsed_seconds=record.elapsed_seconds,
+                status=record.status,
+            )
+        result.points.append(point)
+
+    finished = [p for p in result.points if p.status == "OK"]
+    if not finished:
+        return result
+    best = max(finished, key=lambda p: p.spread_mean)
+    result.best_value = best.value
+    result.mu_star = best.spread_mean
+    result.sd_star = best.spread_std
+    eligible = [
+        p
+        for p in finished
+        if p.spread_mean >= result.mu_star - tolerance_std * result.sd_star
+    ]
+    optimal = min(eligible, key=lambda p: p.elapsed_seconds)
+    result.optimal_value = optimal.value
+    return result

@@ -1,0 +1,34 @@
+"""Graph substrate: CSR digraphs, generators, weight schemes, I/O, stats."""
+
+from .digraph import DiGraph
+from .multigraph import MultiDiGraph, consolidate
+from . import generators, io, stats, utils, weights
+from .stats import GraphStats, effective_diameter, graph_stats
+from .weights import (
+    constant,
+    incoming_weight_sums,
+    lt_random,
+    lt_uniform,
+    trivalency,
+    weighted_cascade,
+)
+
+__all__ = [
+    "DiGraph",
+    "MultiDiGraph",
+    "consolidate",
+    "generators",
+    "io",
+    "utils",
+    "stats",
+    "weights",
+    "GraphStats",
+    "effective_diameter",
+    "graph_stats",
+    "constant",
+    "incoming_weight_sums",
+    "lt_random",
+    "lt_uniform",
+    "trivalency",
+    "weighted_cascade",
+]

@@ -1,0 +1,201 @@
+"""Seeded synthetic graph generators.
+
+The paper benchmarks on eight real social networks (Table 1).  Those graphs
+are not redistributable (and a pure-Python platform cannot hold
+billion-edge graphs anyway), so :mod:`repro.datasets` builds scaled
+analogues from the generators in this module.  Each generator returns
+``(n, src, dst)`` arrays of *unique directed arcs* suitable for
+:meth:`DiGraph.from_arrays`; use :func:`symmetrize` to model an undirected
+network as arcs in both directions, exactly as the paper does ("the
+undirected graphs are made directed by considering, for each edge, the
+arcs in both directions").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .digraph import DiGraph
+
+__all__ = [
+    "symmetrize",
+    "erdos_renyi",
+    "preferential_attachment",
+    "watts_strogatz",
+    "powerlaw_configuration",
+    "forest_fire",
+]
+
+EdgeArrays = tuple[int, np.ndarray, np.ndarray]
+
+
+def symmetrize(n: int, src: np.ndarray, dst: np.ndarray) -> EdgeArrays:
+    """Add the reverse of every arc (undirected -> directed doubling)."""
+    return n, np.concatenate([src, dst]), np.concatenate([dst, src])
+
+
+def _dedup(n: int, src: np.ndarray, dst: np.ndarray) -> EdgeArrays:
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    if src.size:
+        key = src.astype(np.int64) * n + dst
+        __, first = np.unique(key, return_index=True)
+        first.sort()
+        src, dst = src[first], dst[first]
+    return n, src, dst
+
+
+def erdos_renyi(n: int, p: float, rng: np.random.Generator, directed: bool = True) -> EdgeArrays:
+    """G(n, p) with expected ``p * n * (n - 1)`` directed arcs."""
+    if n < 0 or not 0.0 <= p <= 1.0:
+        raise ValueError("need n >= 0 and p in [0, 1]")
+    expected = p * n * max(n - 1, 0)
+    m = rng.binomial(n * max(n - 1, 0), p) if n > 1 else 0
+    # Sample arcs with replacement then dedup; for sparse p the loss is tiny,
+    # and slight oversampling compensates for collisions.
+    m = int(m + 4 * np.sqrt(expected)) if expected > 0 else 0
+    src = rng.integers(0, n, size=m) if n else np.empty(0, dtype=np.int64)
+    dst = rng.integers(0, n, size=m) if n else np.empty(0, dtype=np.int64)
+    n, src, dst = _dedup(n, src.astype(np.int64), dst.astype(np.int64))
+    if not directed:
+        return symmetrize(n, src, dst)
+    return n, src, dst
+
+
+def preferential_attachment(
+    n: int, m_per_node: int, rng: np.random.Generator, directed: bool = False
+) -> EdgeArrays:
+    """Barabási–Albert-style growth: each new node attaches to ``m_per_node``
+    existing nodes chosen proportionally to their current degree.
+
+    Produces the heavy-tailed degree distribution characteristic of social
+    networks (DBLP-, YouTube-like graphs).
+    """
+    if m_per_node < 1 or n < m_per_node + 1:
+        raise ValueError("need n > m_per_node >= 1")
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    # repeated-nodes trick: sampling uniformly from this list is sampling
+    # proportionally to degree.
+    repeated: list[int] = list(range(m_per_node))
+    for v in range(m_per_node, n):
+        targets: set[int] = set()
+        while len(targets) < m_per_node:
+            if repeated and rng.random() < 0.9:
+                targets.add(repeated[int(rng.integers(0, len(repeated)))])
+            else:
+                targets.add(int(rng.integers(0, v)))
+        for t in targets:
+            src_list.append(v)
+            dst_list.append(t)
+            repeated.append(v)
+            repeated.append(t)
+    src = np.asarray(src_list, dtype=np.int64)
+    dst = np.asarray(dst_list, dtype=np.int64)
+    if directed:
+        return _dedup(n, src, dst)
+    return symmetrize(*_dedup(n, src, dst))
+
+
+def watts_strogatz(
+    n: int, k: int, beta: float, rng: np.random.Generator, directed: bool = False
+) -> EdgeArrays:
+    """Ring lattice with ``k`` nearest neighbours per side, rewired w.p. beta."""
+    if k < 1 or n < 2 * k + 1:
+        raise ValueError("need n > 2k")
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    for u in range(n):
+        for offset in range(1, k + 1):
+            v = (u + offset) % n
+            if rng.random() < beta:
+                v = int(rng.integers(0, n))
+                while v == u:
+                    v = int(rng.integers(0, n))
+            src_list.append(u)
+            dst_list.append(v)
+    n, src, dst = _dedup(n, np.asarray(src_list, dtype=np.int64), np.asarray(dst_list, dtype=np.int64))
+    if directed:
+        return n, src, dst
+    return symmetrize(n, src, dst)
+
+
+def powerlaw_configuration(
+    n: int,
+    exponent: float,
+    avg_degree: float,
+    rng: np.random.Generator,
+    directed: bool = True,
+    max_degree: int | None = None,
+) -> EdgeArrays:
+    """Directed configuration model with Zipf-like out-degrees.
+
+    Out-degrees follow a truncated power law with the given exponent, scaled
+    to hit ``avg_degree``; targets are sampled preferentially (by a second,
+    independent power-law popularity) so in-degrees are heavy-tailed too —
+    the Twitter-like regime where WC weights 1/|In(v)| become tiny at hubs.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    max_degree = max_degree or max(2, n // 10)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    raw = ranks ** (-1.0 / max(exponent - 1.0, 1e-9))
+    raw = np.minimum(raw / raw.mean() * avg_degree, max_degree)
+    out_deg = np.maximum(rng.poisson(raw), 0)
+    rng.shuffle(out_deg)
+
+    popularity = ranks ** (-1.0 / max(exponent - 1.0, 1e-9))
+    popularity /= popularity.sum()
+    node_pop = np.arange(n)
+    rng.shuffle(node_pop)
+
+    src = np.repeat(np.arange(n, dtype=np.int64), out_deg)
+    dst_pool = rng.choice(node_pop, size=src.shape[0], p=popularity)
+    n, src, dst = _dedup(n, src, dst_pool.astype(np.int64))
+    if directed:
+        return n, src, dst
+    return symmetrize(n, src, dst)
+
+
+def forest_fire(
+    n: int, forward_prob: float, rng: np.random.Generator, directed: bool = True
+) -> EdgeArrays:
+    """Leskovec-style forest-fire growth (densifying, small diameter)."""
+    if not 0.0 <= forward_prob < 1.0:
+        raise ValueError("forward_prob must be in [0, 1)")
+    out_adj: list[list[int]] = [[] for __ in range(n)]
+    src_list: list[int] = []
+    dst_list: list[int] = []
+
+    def link(u: int, v: int) -> None:
+        out_adj[u].append(v)
+        src_list.append(u)
+        dst_list.append(v)
+
+    for v in range(1, n):
+        ambassador = int(rng.integers(0, v))
+        burned = {ambassador}
+        frontier = [ambassador]
+        link(v, ambassador)
+        while frontier:
+            w = frontier.pop()
+            # geometric number of links to burn forward from w
+            n_burn = rng.geometric(1.0 - forward_prob) - 1
+            fresh = [x for x in out_adj[w] if x not in burned]
+            rng.shuffle(fresh)
+            for x in fresh[:n_burn]:
+                burned.add(x)
+                frontier.append(x)
+                link(v, x)
+    n, src, dst = _dedup(
+        n, np.asarray(src_list, dtype=np.int64), np.asarray(dst_list, dtype=np.int64)
+    )
+    if directed:
+        return n, src, dst
+    return symmetrize(n, src, dst)
+
+
+def build(edge_arrays: EdgeArrays) -> DiGraph:
+    """Convenience: materialize generator output as an unweighted DiGraph."""
+    n, src, dst = edge_arrays
+    return DiGraph.from_arrays(n, src, dst)

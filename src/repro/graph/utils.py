@@ -1,0 +1,113 @@
+"""Graph utilities: components, degree summaries, subgraph sampling.
+
+Support routines for dataset analysis (the "network properties" the paper
+cites as the driver of performance variation, Sec. 2.1) and for carving
+benchmark-sized subgraphs out of larger inputs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .digraph import DiGraph
+
+__all__ = [
+    "weakly_connected_components",
+    "largest_component",
+    "DegreeSummary",
+    "degree_summary",
+    "induced_subgraph",
+    "sample_nodes_subgraph",
+]
+
+
+def weakly_connected_components(graph: DiGraph) -> np.ndarray:
+    """Component id per node, ignoring edge direction."""
+    comp = np.full(graph.n, -1, dtype=np.int64)
+    next_comp = 0
+    for start in range(graph.n):
+        if comp[start] >= 0:
+            continue
+        comp[start] = next_comp
+        queue: deque[int] = deque([start])
+        while queue:
+            u = queue.popleft()
+            out_nodes, __ = graph.out_neighbors(u)
+            in_nodes, __w = graph.in_neighbors(u)
+            for v in list(out_nodes) + list(in_nodes):
+                v = int(v)
+                if comp[v] < 0:
+                    comp[v] = next_comp
+                    queue.append(v)
+        next_comp += 1
+    return comp
+
+
+def largest_component(graph: DiGraph) -> DiGraph:
+    """The induced subgraph of the largest weakly connected component."""
+    if graph.n == 0:
+        return graph
+    comp = weakly_connected_components(graph)
+    winner = int(np.bincount(comp).argmax())
+    return induced_subgraph(graph, np.nonzero(comp == winner)[0])
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Degree-distribution snapshot of one graph."""
+
+    mean_out: float
+    max_out: int
+    median_out: float
+    gini_out: float  # inequality of out-degrees: 0 regular, ->1 hub-heavy
+
+
+def degree_summary(graph: DiGraph) -> DegreeSummary:
+    """Mean/max/median/Gini of the out-degree distribution."""
+    if graph.n == 0:
+        return DegreeSummary(0.0, 0, 0.0, 0.0)
+    deg = np.sort(graph.out_degree().astype(np.float64))
+    total = deg.sum()
+    if total == 0:
+        gini = 0.0
+    else:
+        n = deg.shape[0]
+        ranks = np.arange(1, n + 1)
+        gini = float((2 * ranks - n - 1).dot(deg) / (n * total))
+    return DegreeSummary(
+        mean_out=float(deg.mean()),
+        max_out=int(deg.max()),
+        median_out=float(np.median(deg)),
+        gini_out=gini,
+    )
+
+
+def induced_subgraph(graph: DiGraph, nodes: np.ndarray) -> DiGraph:
+    """Subgraph on ``nodes`` with ids remapped to 0..len(nodes)-1.
+
+    Preserves edge weights; node order in ``nodes`` defines the new ids.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if np.unique(nodes).shape[0] != nodes.shape[0]:
+        raise ValueError("nodes must be unique")
+    remap = np.full(graph.n, -1, dtype=np.int64)
+    remap[nodes] = np.arange(nodes.shape[0])
+    src = remap[graph.edge_src]
+    dst = remap[graph.edge_dst]
+    keep = (src >= 0) & (dst >= 0)
+    return DiGraph.from_arrays(
+        nodes.shape[0], src[keep], dst[keep], graph.out_w[keep], dedup=False
+    )
+
+
+def sample_nodes_subgraph(
+    graph: DiGraph, size: int, rng: np.random.Generator
+) -> DiGraph:
+    """Induced subgraph on a uniform sample of ``size`` nodes."""
+    if not 0 <= size <= graph.n:
+        raise ValueError("size out of range")
+    nodes = rng.choice(graph.n, size=size, replace=False)
+    return induced_subgraph(graph, np.sort(nodes))

@@ -1,0 +1,93 @@
+"""Edge-weight schemes of Sec. 2.1 of the paper.
+
+Every function takes a :class:`~repro.graph.digraph.DiGraph` and returns a
+*new* graph with the same topology and re-assigned weights.  The weight of
+an edge ``(u, v)`` is the probability (IC) or the threshold contribution
+(LT) with which ``u`` influences ``v``.
+
+Independent Cascade schemes (Sec. 2.1.1):
+
+* :func:`constant` — W(u,v) = p (p in {0.01, 0.1} in the literature).
+* :func:`weighted_cascade` — W(u,v) = 1/|In(v)| (the WC model).
+* :func:`trivalency` — W(u,v) drawn uniformly from a small value set.
+
+Linear Threshold schemes (Sec. 2.1.2):
+
+* :func:`lt_uniform` — W(u,v) = 1/|In(v)| (identical formula to WC).
+* :func:`lt_random` — U(0,1) weights normalized so incoming sums are 1.
+* parallel-edges — see :func:`repro.graph.multigraph.consolidate`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .digraph import DiGraph
+
+__all__ = [
+    "constant",
+    "weighted_cascade",
+    "trivalency",
+    "lt_uniform",
+    "lt_random",
+    "incoming_weight_sums",
+]
+
+DEFAULT_TRIVALENCY = (0.001, 0.01, 0.1)
+
+
+def constant(graph: DiGraph, p: float = 0.1) -> DiGraph:
+    """IC-constant: every edge gets probability ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability in [0, 1]")
+    return graph.with_weights(np.full(graph.m, p, dtype=np.float64))
+
+
+def weighted_cascade(graph: DiGraph) -> DiGraph:
+    """WC: W(u,v) = 1/|In(v)| — low-degree nodes are easier to influence."""
+    in_deg = graph.in_degree()
+    # Every edge (u, v) has in_deg[v] >= 1 by construction.
+    w = 1.0 / in_deg[graph.edge_dst]
+    return graph.with_weights(w)
+
+
+def trivalency(
+    graph: DiGraph,
+    values: Sequence[float] = DEFAULT_TRIVALENCY,
+    rng: np.random.Generator | None = None,
+) -> DiGraph:
+    """Tri-valency: per-edge weight drawn uniformly from ``values``."""
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.size == 0:
+        raise ValueError("values must be non-empty")
+    if ((vals < 0) | (vals > 1)).any():
+        raise ValueError("values must be probabilities in [0, 1]")
+    rng = np.random.default_rng() if rng is None else rng
+    w = rng.choice(vals, size=graph.m)
+    return graph.with_weights(w)
+
+
+def lt_uniform(graph: DiGraph) -> DiGraph:
+    """LT-uniform: identical formula to WC; incoming weights sum to 1."""
+    return weighted_cascade(graph)
+
+
+def lt_random(graph: DiGraph, rng: np.random.Generator | None = None) -> DiGraph:
+    """LT-random: U(0,1) draws normalized per target so In(v) sums to 1."""
+    rng = np.random.default_rng() if rng is None else rng
+    raw = rng.uniform(0.0, 1.0, size=graph.m)
+    # Guard against a pathological all-zero incoming draw.
+    raw = np.maximum(raw, 1e-12)
+    sums = np.zeros(graph.n, dtype=np.float64)
+    np.add.at(sums, graph.edge_dst, raw)
+    w = raw / sums[graph.edge_dst]
+    return graph.with_weights(w)
+
+
+def incoming_weight_sums(graph: DiGraph) -> np.ndarray:
+    """Sum of incoming edge weights per node (LT requires each <= 1)."""
+    sums = np.zeros(graph.n, dtype=np.float64)
+    np.add.at(sums, graph.edge_dst, graph.out_w)
+    return sums

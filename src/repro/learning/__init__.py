@@ -1,0 +1,21 @@
+"""Influence-probability learning: traces, estimators, evaluation.
+
+The data-driven alternative to the model-based weight schemes of
+Sec. 2.1 — see :mod:`repro.learning.traces` for why the paper could not
+take this route and how this package simulates it instead.
+"""
+
+from .estimators import bernoulli, jaccard, partial_credits
+from .evaluate import WeightError, seed_set_transfer, weight_error
+from .traces import ActionLog, generate_action_log
+
+__all__ = [
+    "bernoulli",
+    "jaccard",
+    "partial_credits",
+    "WeightError",
+    "seed_set_transfer",
+    "weight_error",
+    "ActionLog",
+    "generate_action_log",
+]

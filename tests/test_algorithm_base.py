@@ -1,0 +1,92 @@
+"""Tests for the IMAlgorithm interface contract and budget plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import BudgetExceeded, IMAlgorithm
+from repro.algorithms.heuristics import Degree
+from repro.diffusion.models import IC, LT, Dynamics
+from repro.framework.metrics import ResourceBudget
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def small_graph():
+    return IC.weighted(DiGraph.from_edges(5, [(0, 1), (0, 2), (1, 3), (3, 4)]))
+
+
+class _BadCount(IMAlgorithm):
+    name = "bad-count"
+    supported = (Dynamics.IC,)
+
+    def _select(self, graph, k, model, rng, budget):
+        return list(range(k + 1)), {}
+
+
+class _Duplicates(IMAlgorithm):
+    name = "dupes"
+    supported = (Dynamics.IC,)
+
+    def _select(self, graph, k, model, rng, budget):
+        return [0] * k, {}
+
+
+class TestContract:
+    def test_result_fields(self, small_graph, rng):
+        res = Degree().select(small_graph, 2, IC, rng=rng)
+        assert res.algorithm == "Degree"
+        assert res.model == "IC"
+        assert res.k == 2
+        assert res.elapsed_seconds >= 0.0
+        assert all(isinstance(s, int) for s in res.seeds)
+
+    def test_negative_k_rejected(self, small_graph, rng):
+        with pytest.raises(ValueError):
+            Degree().select(small_graph, -1, IC, rng=rng)
+
+    def test_k_larger_than_n_rejected(self, small_graph, rng):
+        with pytest.raises(ValueError):
+            Degree().select(small_graph, 10, IC, rng=rng)
+
+    def test_k_zero_allowed(self, small_graph, rng):
+        res = Degree().select(small_graph, 0, IC, rng=rng)
+        assert res.seeds == []
+
+    def test_unsupported_model_rejected(self, small_graph, rng):
+        from repro.algorithms.irie import IRIE
+
+        with pytest.raises(ValueError):
+            IRIE().select(small_graph, 1, LT, rng=rng)
+
+    def test_wrong_seed_count_caught(self, small_graph, rng):
+        with pytest.raises(AssertionError):
+            _BadCount().select(small_graph, 2, IC, rng=rng)
+
+    def test_duplicate_seeds_caught(self, small_graph, rng):
+        with pytest.raises(AssertionError):
+            _Duplicates().select(small_graph, 2, IC, rng=rng)
+
+    def test_supports_accepts_model_or_dynamics(self):
+        algo = Degree()
+        assert algo.supports(IC)
+        assert algo.supports(Dynamics.LT)
+
+
+class TestBudget:
+    def test_time_budget_raises_dnf(self):
+        budget = ResourceBudget(time_limit_seconds=0.0)
+        budget.start()
+        with pytest.raises(BudgetExceeded) as err:
+            budget.check()
+        assert err.value.status == "DNF"
+
+    def test_unlimited_budget_never_raises(self):
+        budget = ResourceBudget()
+        budget.start()
+        budget.check()
+
+    def test_elapsed_before_start(self):
+        assert ResourceBudget().elapsed() == 0.0
+
+    def test_tick_with_none_is_noop(self):
+        IMAlgorithm._tick(None)

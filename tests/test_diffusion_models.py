@@ -1,0 +1,69 @@
+"""Tests for propagation-model definitions and weight pairing."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import (
+    IC,
+    LT,
+    LT_RANDOM,
+    STANDARD_MODELS,
+    TV,
+    WC,
+    Dynamics,
+    model_by_name,
+    weighted_graph,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.weights import incoming_weight_sums
+
+
+@pytest.fixture
+def g():
+    return DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 0)])
+
+
+class TestModelDefinitions:
+    def test_standard_models_are_the_papers_three(self):
+        assert [m.name for m in STANDARD_MODELS] == ["IC", "WC", "LT"]
+
+    def test_dynamics_assignment(self):
+        assert IC.dynamics is Dynamics.IC
+        assert WC.dynamics is Dynamics.IC  # WC is an IC instance (M6!)
+        assert TV.dynamics is Dynamics.IC
+        assert LT.dynamics is Dynamics.LT
+        assert LT_RANDOM.dynamics is Dynamics.LT
+
+    def test_lookup_by_name(self):
+        assert model_by_name("WC") is WC
+        with pytest.raises(KeyError):
+            model_by_name("nope")
+
+
+class TestWeighting:
+    def test_ic_constant_point_one(self, g):
+        wg = IC.weighted(g)
+        assert np.allclose(wg.out_w, 0.1)
+
+    def test_wc_inverse_in_degree(self, g):
+        wg = WC.weighted(g)
+        assert wg.weight(0, 2) == pytest.approx(0.5)  # in-deg(2) == 2
+
+    def test_lt_incoming_sums(self, g):
+        wg = LT.weighted(g)
+        sums = incoming_weight_sums(wg)
+        assert (sums <= 1.0 + 1e-9).all()
+
+    def test_lt_random_uses_rng(self, g):
+        a = LT_RANDOM.weighted(g, np.random.default_rng(1))
+        b = LT_RANDOM.weighted(g, np.random.default_rng(1))
+        c = LT_RANDOM.weighted(g, np.random.default_rng(2))
+        assert np.allclose(a.out_w, b.out_w)
+        assert not np.allclose(a.out_w, c.out_w)
+
+    def test_weighted_graph_helper(self, g):
+        assert weighted_graph(g, IC) == IC.weighted(g)
+
+    def test_topology_preserved(self, g):
+        wg = WC.weighted(g)
+        assert wg.n == g.n and wg.m == g.m

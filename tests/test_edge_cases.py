@@ -1,0 +1,101 @@
+"""Edge-case and failure-injection tests across the whole algorithm zoo.
+
+Degenerate inputs every production library must survive: edgeless graphs,
+fully disconnected components, k = n, single-node graphs, and weight
+extremes (all-zero, all-one).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import registry
+from repro.diffusion.models import IC, LT, WC
+from repro.diffusion.simulation import monte_carlo_spread
+from repro.graph.digraph import DiGraph
+
+FAST = {
+    "CELF": {"mc_simulations": 5},
+    "CELF++": {"mc_simulations": 5},
+    "GREEDY": {"mc_simulations": 5},
+    "RIS": {"num_rr_sets": 200},
+    "TIM+": {"epsilon": 0.5, "rr_scale": 0.01, "max_rr_sets": 500},
+    "IMM": {"epsilon": 0.5, "rr_scale": 0.01, "max_rr_sets": 500},
+    "StaticGreedy": {"num_snapshots": 10},
+    "PMC": {"num_snapshots": 10},
+    "EaSyIM": {"path_length": 2},
+}
+
+ALL_NAMES = tuple(registry.BENCHMARKED) + ("GREEDY", "RIS", "Degree",
+                                           "SingleDiscount", "DegreeDiscount",
+                                           "PageRank")
+
+
+def _model_for(name):
+    algo = registry.make(name)
+    return IC if algo.supports(IC) else LT
+
+
+def _make(name):
+    return registry.make(name, **FAST.get(name, {}))
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_edgeless_graph(name, rng):
+    graph = IC.weighted(DiGraph.from_edges(6, []))
+    model = _model_for(name)
+    res = _make(name).select(graph, 3, model, rng=rng)
+    assert len(set(res.seeds)) == 3
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_k_equals_n(name, rng):
+    g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)], weights=[0.5] * 3)
+    model = _model_for(name)
+    res = _make(name).select(g, 4, model, rng=rng)
+    assert sorted(res.seeds) == [0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_disconnected_components(name, rng):
+    # Two components; with k=2 any sensible technique seeds both or at
+    # least returns valid distinct seeds.
+    g = DiGraph.from_edges(
+        6, [(0, 1), (1, 2), (3, 4), (4, 5)], weights=[0.9] * 4
+    )
+    model = _model_for(name)
+    res = _make(name).select(g, 2, model, rng=rng)
+    assert len(set(res.seeds)) == 2
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_single_node(name, rng):
+    g = DiGraph.from_edges(1, [])
+    model = _model_for(name)
+    res = _make(name).select(g, 1, model, rng=rng)
+    assert res.seeds == [0]
+
+
+class TestWeightExtremes:
+    def test_zero_weights_spread_is_k(self, rng):
+        g = DiGraph.from_edges(5, [(0, 1), (1, 2), (2, 3)], weights=[0.0] * 3)
+        est = monte_carlo_spread(g, [0, 4], IC, r=50, rng=rng)
+        assert est.mean == 2.0
+        assert est.std == 0.0
+
+    def test_unit_weights_full_reach(self, rng):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)], weights=[1.0] * 3)
+        for model in (IC, LT):
+            est = monte_carlo_spread(g, [0], model, r=20, rng=rng)
+            assert est.mean == 4.0
+
+    def test_rr_algorithms_on_zero_weights(self, rng):
+        g = DiGraph.from_edges(5, [(0, 1), (1, 2)], weights=[0.0, 0.0])
+        res = registry.make("IMM", epsilon=0.5, rr_scale=0.01,
+                            max_rr_sets=200).select(g, 2, IC, rng=rng)
+        assert len(res.seeds) == 2
+
+    def test_wc_on_star_is_deterministic(self, rng):
+        # Hub points at 5 leaves, each with in-degree 1 => weight 1.0.
+        g = WC.weighted(DiGraph.from_edges(6, [(0, i) for i in range(1, 6)]))
+        est = monte_carlo_spread(g, [0], WC, r=20, rng=rng)
+        assert est.mean == 6.0

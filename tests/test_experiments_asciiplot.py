@@ -1,0 +1,134 @@
+"""Tests for the experiment drivers and the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import WC
+from repro.framework.asciiplot import line_chart
+from repro.framework.experiments import (
+    SweepConfig,
+    head_to_head,
+    memory_sweep,
+    pillar_scores,
+    quality_sweep,
+)
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(0)
+    g = DiGraph.from_arrays(
+        60, rng.integers(0, 60, 240), rng.integers(0, 60, 240)
+    )
+    return WC.weighted(g)
+
+
+ROSTER = {
+    "EaSyIM": {"path_length": 2},
+    "Degree": {},
+}
+
+
+class TestQualitySweep:
+    def test_all_cells_present(self, graph):
+        config = SweepConfig(k_grid=(2, 4), mc_simulations=50)
+        results = quality_sweep(graph, WC, ROSTER, config)
+        assert set(results) == {
+            ("EaSyIM", 2), ("EaSyIM", 4), ("Degree", 2), ("Degree", 4)
+        }
+        assert all(r.ok and r.spread is not None for r in results.values())
+
+    def test_budget_propagates_failures(self, graph):
+        config = SweepConfig(
+            k_grid=(2, 4), mc_simulations=20, time_limit_seconds=0.001
+        )
+        results = quality_sweep(
+            graph, WC, {"CELF": {"mc_simulations": 500}}, config
+        )
+        assert results[("CELF", 2)].status == "DNF"
+        # The larger k was skipped, not re-run.
+        assert results[("CELF", 4)].status == "DNF"
+        assert results[("CELF", 4)].elapsed_seconds == 0.0
+
+    def test_no_propagation_when_disabled(self, graph):
+        config = SweepConfig(
+            k_grid=(2, 4), mc_simulations=20,
+            time_limit_seconds=0.001, propagate_failures=False,
+        )
+        results = quality_sweep(
+            graph, WC, {"CELF": {"mc_simulations": 500}}, config
+        )
+        assert results[("CELF", 4)].elapsed_seconds > 0.0
+
+    def test_deterministic_under_seed(self, graph):
+        config = SweepConfig(k_grid=(3,), mc_simulations=30, seed=5)
+        a = quality_sweep(graph, WC, ROSTER, config)
+        b = quality_sweep(graph, WC, ROSTER, config)
+        assert a[("Degree", 3)].seeds == b[("Degree", 3)].seeds
+        assert a[("Degree", 3)].spread == b[("Degree", 3)].spread
+
+
+class TestMemorySweep:
+    def test_memory_recorded(self, graph):
+        config = SweepConfig(mc_simulations=30)
+        results = memory_sweep(graph, WC, ROSTER, 3, config)
+        assert all(r.peak_memory_mb is not None for r in results.values())
+
+
+class TestHeadToHead:
+    def test_run_counts(self, graph):
+        outcomes = head_to_head(
+            graph, WC,
+            ("EaSyIM", {"path_length": 2}), ("Degree", {}),
+            k=3, runs=4,
+        )
+        assert len(outcomes["EaSyIM"]) == 4
+        assert len(outcomes["Degree"]) == 4
+
+    def test_invalid_runs(self, graph):
+        with pytest.raises(ValueError):
+            head_to_head(graph, WC, ("Degree", {}), ("Degree", {}), 2, runs=0)
+
+
+class TestPillarScores:
+    def test_scores_shape(self, graph):
+        config = SweepConfig(mc_simulations=30)
+        scores = pillar_scores(graph, WC, ROSTER, 3, config)
+        assert {s.name for s in scores} == set(ROSTER)
+        assert all(s.quality > 0 for s in scores)
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart([1, 2], {"alpha": [1.0, 2.0], "beta": [2.0, 1.0]})
+        assert "o=alpha" in chart
+        assert "x=beta" in chart
+
+    def test_log_scale_annotation(self):
+        chart = line_chart([1, 2], {"a": [1, 1000]}, log_y=True)
+        assert "(log y)" in chart
+
+    def test_none_points_skipped(self):
+        chart = line_chart([1, 2, 3], {"a": [1.0, None, 3.0]})
+        assert chart  # renders without error
+
+    def test_all_none_series(self):
+        chart = line_chart([1], {"a": [None]}, title="t")
+        assert "(no data)" in chart
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [1.0]})
+
+    def test_empty_x_raises(self):
+        with pytest.raises(ValueError):
+            line_chart([], {})
+
+    def test_flat_series_renders(self):
+        chart = line_chart([1, 2, 3], {"a": [5.0, 5.0, 5.0]})
+        assert "o" in chart
+
+    def test_collision_marker(self):
+        chart = line_chart([1], {"a": [1.0], "b": [1.0]})
+        assert "*" in chart

@@ -1,0 +1,110 @@
+"""Tests for resource measurement, budgets and run records."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import BudgetExceeded
+from repro.algorithms.celf import CELF
+from repro.algorithms.heuristics import Degree
+from repro.diffusion.models import IC
+from repro.framework.metrics import (
+    STATUS_CRASHED,
+    STATUS_DNF,
+    STATUS_OK,
+    Measurement,
+    ResourceBudget,
+    RunRecord,
+    measure,
+    run_with_budget,
+)
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def small_graph():
+    return IC.weighted(
+        DiGraph.from_edges(30, [(i, (i + 1) % 30) for i in range(30)])
+    )
+
+
+class TestMeasure:
+    def test_elapsed_positive(self):
+        with measure(track_memory=False) as sink:
+            time.sleep(0.01)
+        assert sink[0].elapsed_seconds >= 0.01
+        assert sink[0].peak_memory_mb is None
+
+    def test_memory_tracked(self):
+        with measure(track_memory=True) as sink:
+            __data = np.zeros(2_000_000)  # ~16 MB
+        assert sink[0].peak_memory_mb is not None
+        assert sink[0].peak_memory_mb > 10
+
+    def test_nested_measurement(self):
+        with measure(track_memory=True) as outer:
+            with measure(track_memory=True) as inner:
+                __ = np.zeros(500_000)
+        assert inner[0].peak_memory_mb is not None
+        assert outer[0].peak_memory_mb is not None
+
+
+class TestResourceBudget:
+    def test_memory_budget_raises_crashed(self):
+        import tracemalloc
+
+        budget = ResourceBudget(memory_limit_mb=1.0)
+        budget.start()
+        tracemalloc.start()
+        try:
+            __data = np.zeros(1_000_000)  # ~8 MB
+            with pytest.raises(BudgetExceeded) as err:
+                budget.check()
+            assert err.value.status == STATUS_CRASHED
+        finally:
+            tracemalloc.stop()
+
+    def test_time_budget_status_dnf(self):
+        budget = ResourceBudget(time_limit_seconds=0.0)
+        budget.start()
+        time.sleep(0.001)
+        with pytest.raises(BudgetExceeded) as err:
+            budget.check()
+        assert err.value.status == STATUS_DNF
+
+
+class TestRunWithBudget:
+    def test_ok_run(self, small_graph, rng):
+        record, result = run_with_budget(Degree(), small_graph, 3, IC, rng=rng)
+        assert record.status == STATUS_OK
+        assert record.ok
+        assert len(record.seeds) == 3
+        assert result is not None
+
+    def test_dnf_on_slow_algorithm(self, small_graph, rng):
+        record, result = run_with_budget(
+            CELF(mc_simulations=5000),
+            small_graph,
+            5,
+            IC,
+            rng=rng,
+            time_limit_seconds=0.05,
+        )
+        assert record.status == STATUS_DNF
+        assert record.seeds == []
+        assert result is None
+        assert "budget_detail" in record.extras
+
+    def test_cell_rendering(self):
+        ok = RunRecord("X", "IC", 5, STATUS_OK, spread=12.0, elapsed_seconds=1.0,
+                       peak_memory_mb=3.0)
+        assert "12.0" in ok.cell()
+        dnf = RunRecord("X", "IC", 5, STATUS_DNF)
+        assert dnf.cell() == "DNF"
+
+    def test_memory_tracking_optional(self, small_graph, rng):
+        record, __ = run_with_budget(
+            Degree(), small_graph, 2, IC, rng=rng, track_memory=False
+        )
+        assert record.peak_memory_mb is None

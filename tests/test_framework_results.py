@@ -1,0 +1,67 @@
+"""Tests for record serialization and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.framework.metrics import RunRecord
+from repro.framework.results import (
+    load_records,
+    render_series,
+    render_table,
+    save_records,
+)
+
+
+@pytest.fixture
+def records():
+    return [
+        RunRecord("IMM", "WC", 50, "OK", seeds=[1, 2], spread=123.4,
+                  spread_std=5.6, elapsed_seconds=0.7, peak_memory_mb=12.0,
+                  extras={"epsilon": 0.1}),
+        RunRecord("CELF", "WC", 50, "DNF"),
+    ]
+
+
+class TestSerialization:
+    def test_round_trip(self, records, tmp_path):
+        path = tmp_path / "records.json"
+        save_records(records, path)
+        loaded = load_records(path)
+        assert len(loaded) == 2
+        assert loaded[0].algorithm == "IMM"
+        assert loaded[0].spread == pytest.approx(123.4)
+        assert loaded[0].extras["epsilon"] == 0.1
+        assert loaded[1].status == "DNF"
+
+    def test_numpy_values_in_extras(self, tmp_path):
+        record = RunRecord(
+            "X", "IC", 1, "OK",
+            extras={"arr": np.array([1, 2]), "scalar": np.float64(3.5)},
+        )
+        path = tmp_path / "r.json"
+        save_records([record], path)
+        loaded = load_records(path)
+        assert loaded[0].extras["arr"] == [1, 2]
+        assert loaded[0].extras["scalar"] == 3.5
+
+
+class TestRendering:
+    def test_table_contains_all_rows(self, records):
+        text = render_table(records, title="Fig X")
+        assert "Fig X" in text
+        assert "IMM" in text and "CELF" in text
+        assert "DNF" in text
+
+    def test_missing_values_dashed(self, records):
+        text = render_table(records)
+        assert "-" in text
+
+    def test_series_alignment(self):
+        text = render_series(
+            "k", [10, 20], {"IMM": [1.0, 2.0], "TIM+": [None, 3.0]},
+            title="Fig 7",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig 7"
+        assert "IMM" in lines[1]
+        assert "-" in text  # the None

@@ -1,0 +1,136 @@
+"""Tests for the Alg.-3 runner, convergence and the tuning procedure."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import IC, WC
+from repro.diffusion.simulation import SpreadEstimate
+from repro.framework.convergence import converged, mc_convergence_study
+from repro.framework.runner import IMFramework
+from repro.framework.tuning import tune_parameter
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(0)
+    g = DiGraph.from_arrays(
+        80, rng.integers(0, 80, 320), rng.integers(0, 80, 320)
+    )
+    return WC.weighted(g)
+
+
+class TestConverged:
+    def test_within_band(self):
+        best = SpreadEstimate(100.0, 10.0, 1000)
+        assert converged(best, SpreadEstimate(95.0, 9.0, 1000))
+
+    def test_outside_band(self):
+        best = SpreadEstimate(100.0, 2.0, 1000)
+        assert not converged(best, SpreadEstimate(90.0, 2.0, 1000))
+
+    def test_band_width_configurable(self):
+        best = SpreadEstimate(100.0, 5.0, 1000)
+        candidate = SpreadEstimate(92.0, 5.0, 1000)
+        assert not converged(best, candidate, tolerance_std=1.0)
+        assert converged(best, candidate, tolerance_std=2.0)
+
+
+class TestIMFramework:
+    def test_evaluate_decouples_spread(self, graph, rng):
+        from repro.algorithms.heuristics import Degree
+
+        fw = IMFramework(graph, WC, mc_simulations=200)
+        record = fw.evaluate(Degree(), 5, rng=rng)
+        assert record.ok
+        assert record.spread is not None
+        assert record.spread >= 5.0
+
+    def test_run_walks_spectrum(self, graph, rng):
+        fw = IMFramework(graph, WC, mc_simulations=200)
+        spectrum = [
+            {"epsilon": 0.1, "rr_scale": 0.02},
+            {"epsilon": 0.5, "rr_scale": 0.02},
+        ]
+        trace = fw.run("IMM", 5, spectrum, rng=rng)
+        assert len(trace.records) >= 1
+        assert trace.chosen_parameters in spectrum
+        assert trace.chosen.ok
+
+    def test_run_stops_on_degradation(self, graph, rng):
+        fw = IMFramework(graph, WC, mc_simulations=300, tolerance_std=0.01)
+        # EaSyIM at path_length 4 vs 1: if quality degrades past the tight
+        # band, the framework keeps the earlier parameter.
+        spectrum = [{"path_length": 4}, {"path_length": 1}]
+        trace = fw.run("EaSyIM", 5, spectrum, rng=rng)
+        assert trace.chosen_index in (0, 1)
+        assert trace.chosen_parameters == spectrum[trace.chosen_index]
+
+    def test_run_without_spectrum(self, graph, rng):
+        fw = IMFramework(graph, WC, mc_simulations=100)
+        trace = fw.run("Degree", 3, rng=rng)
+        assert trace.chosen_parameters == {}
+
+    def test_budget_enforced(self, graph, rng):
+        fw = IMFramework(
+            graph, WC, mc_simulations=50, time_limit_seconds=0.02
+        )
+        trace = fw.run("CELF", 5, [{"mc_simulations": 5000}], rng=rng)
+        assert trace.records[0].status == "DNF"
+
+
+class TestTuning:
+    def test_procedure_returns_optimal(self, graph, rng):
+        result = tune_parameter(
+            "EaSyIM", "path_length", [4, 3, 2, 1], graph, WC, 5,
+            mc_simulations=200, rng=rng,
+        )
+        assert result.best_value in (1, 2, 3, 4)
+        assert result.optimal_value in (1, 2, 3, 4)
+        assert len(result.points) == 4
+        assert not np.isnan(result.mu_star)
+
+    def test_optimal_is_cheapest_within_band(self, graph, rng):
+        result = tune_parameter(
+            "IMM", "epsilon", [0.1, 0.5, 0.9], graph, WC, 5,
+            mc_simulations=200, rng=rng, fixed_params={"rr_scale": 0.02},
+        )
+        eligible = [
+            p for p in result.points
+            if p.spread_mean >= result.mu_star - result.sd_star
+        ]
+        cheapest = min(eligible, key=lambda p: p.elapsed_seconds)
+        assert result.optimal_value == cheapest.value
+
+    def test_table_renders(self, graph, rng):
+        result = tune_parameter(
+            "EaSyIM", "path_length", [2, 1], graph, WC, 3,
+            mc_simulations=100, rng=rng,
+        )
+        text = result.table()
+        assert "EaSyIM" in text
+        assert "X*" in text
+
+    def test_all_dnf_returns_empty_optimum(self, graph, rng):
+        result = tune_parameter(
+            "CELF", "mc_simulations", [5000], graph, WC, 5,
+            mc_simulations=50, rng=rng, time_limit_seconds=0.02,
+        )
+        assert result.optimal_value is None
+        assert result.points[0].status == "DNF"
+
+
+class TestMCConvergence:
+    def test_deviation_shrinks_with_r(self, graph, rng):
+        points = mc_convergence_study(
+            graph, [0, 1, 2], WC,
+            simulation_counts=(20, 2000), repeats=6, rng=rng,
+        )
+        assert points[0].simulations == 20
+        assert points[-1].std_of_mean < points[0].std_of_mean
+
+    def test_mean_stable(self, graph, rng):
+        points = mc_convergence_study(
+            graph, [0, 1], WC, simulation_counts=(500, 1000), repeats=4, rng=rng
+        )
+        assert points[0].mean == pytest.approx(points[1].mean, rel=0.15)

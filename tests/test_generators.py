@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+def build(edge_arrays):
+    n, src, dst = edge_arrays
+    return DiGraph.from_arrays(n, src, dst)
+
+
+class TestSymmetrize:
+    def test_adds_reverse_arcs(self):
+        n, src, dst = generators.symmetrize(
+            3, np.array([0, 1]), np.array([1, 2])
+        )
+        g = DiGraph.from_arrays(n, src, dst)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+
+
+class TestErdosRenyi:
+    def test_size_roughly_matches_p(self, rng):
+        g = build(generators.erdos_renyi(200, 0.02, rng))
+        expected = 0.02 * 200 * 199
+        assert 0.5 * expected < g.m < 1.5 * expected
+
+    def test_zero_p_gives_empty(self, rng):
+        g = build(generators.erdos_renyi(50, 0.0, rng))
+        assert g.m == 0
+
+    def test_invalid_p_raises(self, rng):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi(10, 1.5, rng)
+
+    def test_undirected_mode_symmetric(self, rng):
+        g = build(generators.erdos_renyi(60, 0.05, rng, directed=False))
+        for u, v, __ in list(g.edges())[:50]:
+            assert g.has_edge(v, u)
+
+
+class TestPreferentialAttachment:
+    def test_edge_count(self, rng):
+        g = build(generators.preferential_attachment(200, 3, rng))
+        # ~3 undirected edges per added node, doubled into arcs.
+        assert g.m == pytest.approx(2 * 3 * (200 - 3), rel=0.05)
+
+    def test_heavy_tail(self, rng):
+        g = build(generators.preferential_attachment(500, 2, rng))
+        degrees = g.out_degree()
+        assert degrees.max() > 5 * np.median(degrees[degrees > 0])
+
+    def test_invalid_params_raise(self, rng):
+        with pytest.raises(ValueError):
+            generators.preferential_attachment(3, 5, rng)
+
+    def test_deterministic_with_seed(self):
+        a = generators.preferential_attachment(100, 2, np.random.default_rng(5))
+        b = generators.preferential_attachment(100, 2, np.random.default_rng(5))
+        assert np.array_equal(a[1], b[1]) and np.array_equal(a[2], b[2])
+
+
+class TestWattsStrogatz:
+    def test_degree_regular_without_rewiring(self, rng):
+        g = build(generators.watts_strogatz(30, 2, 0.0, rng, directed=True))
+        assert (g.out_degree() == 2).all()
+
+    def test_rewiring_changes_structure(self):
+        a = build(generators.watts_strogatz(40, 2, 0.0, np.random.default_rng(1), directed=True))
+        b = build(generators.watts_strogatz(40, 2, 0.9, np.random.default_rng(1), directed=True))
+        assert a != b
+
+    def test_invalid_params_raise(self, rng):
+        with pytest.raises(ValueError):
+            generators.watts_strogatz(4, 2, 0.1, rng)
+
+
+class TestPowerlawConfiguration:
+    def test_average_degree_in_band(self, rng):
+        g = build(generators.powerlaw_configuration(400, 2.3, 8.0, rng))
+        avg = g.m / g.n
+        assert 4.0 < avg < 12.0
+
+    def test_heavy_in_degree_tail(self, rng):
+        g = build(generators.powerlaw_configuration(400, 2.1, 10.0, rng))
+        in_deg = g.in_degree()
+        assert in_deg.max() > 4 * max(np.median(in_deg), 1)
+
+    def test_too_small_raises(self, rng):
+        with pytest.raises(ValueError):
+            generators.powerlaw_configuration(1, 2.3, 5.0, rng)
+
+
+class TestForestFire:
+    def test_connected_growth(self, rng):
+        g = build(generators.forest_fire(100, 0.3, rng))
+        # Every node after the first links to at least one predecessor.
+        assert (g.out_degree()[1:] >= 1).all()
+
+    def test_higher_forward_prob_denser(self):
+        sparse = build(generators.forest_fire(150, 0.1, np.random.default_rng(3)))
+        dense = build(generators.forest_fire(150, 0.6, np.random.default_rng(3)))
+        assert dense.m > sparse.m
+
+    def test_invalid_prob_raises(self, rng):
+        with pytest.raises(ValueError):
+            generators.forest_fire(10, 1.0, rng)

@@ -1,0 +1,118 @@
+"""Tests for graph utilities and npz serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.io import load_npz, save_npz
+from repro.graph.utils import (
+    degree_summary,
+    induced_subgraph,
+    largest_component,
+    sample_nodes_subgraph,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture
+def two_islands():
+    return DiGraph.from_edges(
+        6, [(0, 1), (1, 2), (2, 0), (3, 4)], weights=[0.1, 0.2, 0.3, 0.4]
+    )
+
+
+class TestComponents:
+    def test_weak_components(self, two_islands):
+        comp = weakly_connected_components(two_islands)
+        assert comp[0] == comp[1] == comp[2]
+        assert comp[3] == comp[4]
+        assert comp[0] != comp[3]
+        assert comp[5] not in (comp[0], comp[3])
+
+    def test_direction_ignored(self):
+        g = DiGraph.from_edges(2, [(1, 0)])
+        comp = weakly_connected_components(g)
+        assert comp[0] == comp[1]
+
+    def test_largest_component(self, two_islands):
+        largest = largest_component(two_islands)
+        assert largest.n == 3
+        assert largest.m == 3
+
+    def test_largest_component_empty(self):
+        g = DiGraph.from_edges(0, [])
+        assert largest_component(g).n == 0
+
+
+class TestDegreeSummary:
+    def test_regular_graph_zero_gini(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        summary = degree_summary(g)
+        assert summary.gini_out == pytest.approx(0.0)
+        assert summary.mean_out == 1.0
+
+    def test_hub_graph_high_gini(self):
+        g = DiGraph.from_edges(10, [(0, i) for i in range(1, 10)])
+        summary = degree_summary(g)
+        assert summary.gini_out > 0.8
+        assert summary.max_out == 9
+        assert summary.median_out == 0.0
+
+    def test_empty_graph(self):
+        summary = degree_summary(DiGraph.from_edges(0, []))
+        assert summary.mean_out == 0.0
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges(self, two_islands):
+        sub = induced_subgraph(two_islands, np.array([0, 1, 2]))
+        assert sub.n == 3
+        assert sub.m == 3
+        assert sub.weight(0, 1) == pytest.approx(0.1)
+
+    def test_drops_boundary_edges(self, two_islands):
+        sub = induced_subgraph(two_islands, np.array([2, 3]))
+        assert sub.n == 2
+        assert sub.m == 0
+
+    def test_remapping_order(self, two_islands):
+        sub = induced_subgraph(two_islands, np.array([3, 4]))
+        # 3 -> id 0, 4 -> id 1; edge 3->4 becomes 0->1.
+        assert sub.has_edge(0, 1)
+
+    def test_duplicate_nodes_rejected(self, two_islands):
+        with pytest.raises(ValueError):
+            induced_subgraph(two_islands, np.array([0, 0]))
+
+    def test_sampled_subgraph_size(self, two_islands, rng):
+        sub = sample_nodes_subgraph(two_islands, 4, rng)
+        assert sub.n == 4
+
+    def test_sample_size_validated(self, two_islands, rng):
+        with pytest.raises(ValueError):
+            sample_nodes_subgraph(two_islands, 99, rng)
+
+
+class TestNpz:
+    def test_round_trip(self, two_islands, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(two_islands, path)
+        loaded = load_npz(path)
+        assert loaded == two_islands
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        g = DiGraph.from_edges(4, [])
+        path = tmp_path / "empty.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert loaded.n == 4
+        assert loaded.m == 0
+
+    def test_weights_preserved_exactly(self, tmp_path, rng):
+        g = DiGraph.from_arrays(
+            20, rng.integers(0, 20, 60), rng.integers(0, 20, 60),
+            rng.uniform(0, 1, 60),
+        )
+        path = tmp_path / "w.npz"
+        save_npz(g, path)
+        assert np.array_equal(load_npz(path).out_w, g.out_w)

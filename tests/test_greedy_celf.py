@@ -1,0 +1,105 @@
+"""Tests for GREEDY, CELF and CELF++ — the spread-simulation family."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.celf import CELF, CELFpp
+from repro.algorithms.greedy import Greedy
+from repro.diffusion.models import IC, LT, Dynamics
+from repro.diffusion.simulation import monte_carlo_spread
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def clear_winner():
+    """Node 0 reaches 5 nodes with certainty; everyone else reaches <= 1."""
+    edges = [(0, i) for i in range(1, 6)] + [(6, 7)]
+    weights = [1.0] * 5 + [1.0]
+    return DiGraph.from_edges(8, edges, weights=weights)
+
+
+ALGOS = [Greedy, CELF, CELFpp]
+
+
+class TestSeedQuality:
+    @pytest.mark.parametrize("cls", ALGOS)
+    def test_picks_clear_winner_first(self, cls, clear_winner, rng):
+        res = cls(mc_simulations=30).select(clear_winner, 1, IC, rng=rng)
+        assert res.seeds == [0]
+
+    @pytest.mark.parametrize("cls", ALGOS)
+    def test_second_pick_is_marginal(self, cls, clear_winner, rng):
+        res = cls(mc_simulations=30).select(clear_winner, 2, IC, rng=rng)
+        assert res.seeds[0] == 0
+        assert res.seeds[1] == 6  # the only node adding 2 new activations
+
+    @pytest.mark.parametrize("cls", ALGOS)
+    def test_runs_under_lt(self, cls, two_cliques, rng):
+        res = cls(mc_simulations=20).select(two_cliques, 2, LT, rng=rng)
+        assert len(res.seeds) == 2
+
+    def test_all_three_agree_on_deterministic_graph(self, clear_winner, rng):
+        picks = [
+            cls(mc_simulations=20).select(clear_winner, 2, IC, rng=rng).seeds
+            for cls in ALGOS
+        ]
+        assert picks[0] == picks[1] == picks[2]
+
+
+class TestLaziness:
+    def test_celf_lookups_do_not_exceed_greedy(self, two_cliques):
+        k = 3
+        greedy = Greedy(mc_simulations=30).select(
+            two_cliques, k, IC, rng=np.random.default_rng(0)
+        )
+        celf = CELF(mc_simulations=30).select(
+            two_cliques, k, IC, rng=np.random.default_rng(0)
+        )
+        g_lookups = sum(greedy.extras["node_lookups_per_iteration"])
+        c_lookups = sum(celf.extras["node_lookups_per_iteration"])
+        assert c_lookups <= g_lookups
+
+    def test_first_iteration_scans_all_nodes(self, two_cliques, rng):
+        res = CELF(mc_simulations=10).select(two_cliques, 2, IC, rng=rng)
+        assert res.extras["node_lookups_per_iteration"][0] == two_cliques.n
+
+    def test_lookup_counters_have_one_entry_per_iteration(self, two_cliques, rng):
+        res = CELF(mc_simulations=10).select(two_cliques, 3, IC, rng=rng)
+        assert len(res.extras["node_lookups_per_iteration"]) == 3
+
+    def test_celfpp_counts_lookups_too(self, two_cliques, rng):
+        res = CELFpp(mc_simulations=10).select(two_cliques, 3, IC, rng=rng)
+        lookups = res.extras["node_lookups_per_iteration"]
+        assert len(lookups) == 3
+        assert lookups[0] == two_cliques.n
+
+
+class TestQualityVsMCCount:
+    def test_more_simulations_do_not_hurt(self, two_cliques):
+        """Myth M2 mechanism: CELF quality depends on the MC count."""
+        spreads = []
+        for r in (2, 200):
+            res = CELF(mc_simulations=r).select(
+                two_cliques, 2, IC, rng=np.random.default_rng(1)
+            )
+            est = monte_carlo_spread(
+                two_cliques, res.seeds, Dynamics.IC, r=3000,
+                rng=np.random.default_rng(2),
+            )
+            spreads.append(est.mean)
+        assert spreads[1] >= spreads[0] - 0.35
+
+    def test_invalid_simulation_count(self):
+        with pytest.raises(ValueError):
+            CELF(mc_simulations=0)
+        with pytest.raises(ValueError):
+            CELFpp(mc_simulations=-5)
+        with pytest.raises(ValueError):
+            Greedy(mc_simulations=0)
+
+
+class TestEstimatedSpread:
+    @pytest.mark.parametrize("cls", ALGOS)
+    def test_estimated_spread_reported(self, cls, clear_winner, rng):
+        res = cls(mc_simulations=30).select(clear_winner, 2, IC, rng=rng)
+        assert res.extras["estimated_spread"] == pytest.approx(8.0, abs=0.5)

@@ -1,0 +1,97 @@
+"""Tests for the proxy heuristics (degree family + PageRank)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.heuristics import (
+    Degree,
+    DegreeDiscount,
+    PageRankHeuristic,
+    SingleDiscount,
+    pagerank,
+)
+from repro.diffusion.models import IC, WC
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def hub_graph():
+    """Node 0 is a hub; nodes 1-3 point into a chain."""
+    edges = [(0, i) for i in range(1, 6)] + [(1, 6), (6, 7)]
+    return IC.weighted(DiGraph.from_edges(8, edges))
+
+
+class TestDegree:
+    def test_picks_highest_degree_first(self, hub_graph, rng):
+        res = Degree().select(hub_graph, 1, IC, rng=rng)
+        assert res.seeds == [0]
+
+    def test_order_is_degree_sorted(self, hub_graph, rng):
+        res = Degree().select(hub_graph, 3, IC, rng=rng)
+        degrees = [hub_graph.out_degree(s) for s in res.seeds]
+        assert degrees == sorted(degrees, reverse=True)
+
+
+class TestSingleDiscount:
+    def test_discounts_edges_into_seeds(self, rng):
+        # 0 -> {1,2,3}; 4 -> {0,5}; 6 -> {7,8}: after picking 0, node 4's
+        # edge into the seed is discounted, so 6 wins the second slot.
+        edges = [(0, 1), (0, 2), (0, 3), (4, 0), (4, 5), (6, 7), (6, 8)]
+        g = IC.weighted(DiGraph.from_edges(9, edges))
+        res = SingleDiscount().select(g, 2, IC, rng=rng)
+        assert res.seeds[0] == 0
+        assert res.seeds[1] == 6
+
+    def test_matches_degree_on_disjoint_stars(self, rng):
+        edges = [(0, 1), (0, 2), (3, 4), (3, 5)]
+        g = IC.weighted(DiGraph.from_edges(6, edges))
+        res = SingleDiscount().select(g, 2, IC, rng=rng)
+        assert set(res.seeds) == {0, 3}
+
+
+class TestDegreeDiscount:
+    def test_first_seed_is_max_degree(self, hub_graph, rng):
+        res = DegreeDiscount().select(hub_graph, 1, IC, rng=rng)
+        assert res.seeds == [0]
+
+    def test_discounts_neighbours_of_seeds(self, rng):
+        # Hub 0 -> {1..4}; its leaf 1 -> {5, 6} has the next-highest raw
+        # degree but gets heavily discounted once 0 is seeded, so the
+        # independent node 7 -> 8 overtakes it.
+        edges = [(0, i) for i in (1, 2, 3, 4)] + [(1, 5), (1, 6), (7, 8)]
+        g = IC.weighted(DiGraph.from_edges(9, edges))
+        res = DegreeDiscount().select(g, 2, IC, rng=rng)
+        assert res.seeds[0] == 0
+        assert res.seeds[1] == 7
+
+
+class TestPageRank:
+    def test_uniform_on_symmetric_cycle(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        rank = pagerank(g)
+        assert np.allclose(rank, 1 / 3, atol=1e-6)
+
+    def test_rank_sums_to_one(self, hub_graph):
+        rank = pagerank(hub_graph)
+        assert rank.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_reverse_pagerank_favours_influencers(self, rng):
+        # 0 points at many nodes: on the reversed graph it *receives* mass.
+        edges = [(0, i) for i in range(1, 6)]
+        g = WC.weighted(DiGraph.from_edges(6, edges))
+        res = PageRankHeuristic().select(g, 1, WC, rng=rng)
+        assert res.seeds == [0]
+
+    def test_forward_pagerank_differs(self, hub_graph):
+        fwd = pagerank(hub_graph, reverse=False)
+        rev = pagerank(hub_graph, reverse=True)
+        assert not np.allclose(fwd, rev)
+
+    def test_empty_graph(self):
+        assert pagerank(DiGraph.from_edges(0, [])).size == 0
+
+    def test_dangling_mass_redistributed(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        rank = pagerank(g, reverse=False)
+        assert rank.sum() == pytest.approx(1.0, abs=1e-6)
+        assert rank[1] > rank[0]

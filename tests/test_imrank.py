@@ -1,0 +1,87 @@
+"""Tests for IMRank: LFA allocation and the two stopping criteria (M7)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.imrank import IMRank
+from repro.diffusion.models import IC, LT
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def hub_graph():
+    edges = [(0, i) for i in range(1, 8)] + [(8, 9)]
+    return IC.weighted(DiGraph.from_edges(10, edges))
+
+
+class TestLFA:
+    def test_mass_conserved(self, hub_graph):
+        algo = IMRank(l=1)
+        order = np.argsort(-hub_graph.out_degree(), kind="stable")
+        mr = algo._lfa(hub_graph, order)
+        assert mr.sum() == pytest.approx(hub_graph.n)
+
+    def test_influencer_gains_mass(self, hub_graph):
+        algo = IMRank(l=1)
+        order = np.argsort(-hub_graph.out_degree(), kind="stable")
+        mr = algo._lfa(hub_graph, order)
+        assert mr[0] > 1.0  # hub absorbs followers' mass
+        assert mr[1] < 1.0  # a leaf of the hub surrenders mass
+
+    def test_l2_allocates_deeper(self):
+        # Chain 0 -> 1 -> 2: with l=2, node 0 receives mass from node 2 as
+        # well, so its Mr exceeds the l=1 value.
+        g = IC.weighted(DiGraph.from_edges(3, [(0, 1), (1, 2)]))
+        order = np.array([0, 1, 2])
+        mr1 = IMRank(l=1)._lfa(g, order)
+        mr2 = IMRank(l=2)._lfa(g, order)
+        assert mr2[0] > mr1[0]
+
+    def test_no_allocation_to_lower_ranked(self):
+        # If the only in-neighbour ranks lower, no mass moves.
+        g = IC.weighted(DiGraph.from_edges(2, [(1, 0)]))
+        order = np.array([0, 1])  # 0 ranked above 1
+        mr = IMRank(l=1)._lfa(g, order)
+        assert mr.tolist() == [1.0, 1.0]
+
+
+class TestSelection:
+    def test_finds_hub(self, hub_graph, rng):
+        res = IMRank(l=1).select(hub_graph, 1, IC, rng=rng)
+        assert res.seeds == [0]
+
+    def test_l2_variant_named(self):
+        assert IMRank(l=2).name == "IMRank2"
+        assert IMRank(l=1).name == "IMRank1"
+
+    def test_rejects_lt(self, hub_graph, rng):
+        with pytest.raises(ValueError):
+            IMRank().select(hub_graph, 1, LT, rng=rng)
+
+    def test_fixed_stopping_runs_all_rounds(self, hub_graph, rng):
+        res = IMRank(l=1, scoring_rounds=7, stopping="fixed").select(
+            hub_graph, 2, IC, rng=rng
+        )
+        assert res.extras["rounds_run"] == 7
+
+    def test_original_stopping_exits_early(self, hub_graph, rng):
+        """M7: the original criterion stops as soon as top-k stabilizes,
+        typically immediately on a graph with an obvious degree ranking."""
+        res = IMRank(l=1, scoring_rounds=10, stopping="original").select(
+            hub_graph, 2, IC, rng=rng
+        )
+        assert res.extras["rounds_run"] < 10
+
+    def test_rankings_recorded_per_round(self, hub_graph, rng):
+        res = IMRank(l=1, scoring_rounds=4).select(hub_graph, 3, IC, rng=rng)
+        rankings = res.extras["rankings_per_round"]
+        assert len(rankings) == 5  # initial + one per round
+        assert all(len(r) == 3 for r in rankings)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IMRank(l=3)
+        with pytest.raises(ValueError):
+            IMRank(scoring_rounds=0)
+        with pytest.raises(ValueError):
+            IMRank(stopping="never")

@@ -1,0 +1,111 @@
+"""Integration tests: every benchmarked algorithm through the framework.
+
+Runs each (algorithm, model) pair of Table 5 end-to-end on a small scaled
+graph — seed selection, decoupled MC spread, and a sanity check that each
+technique clears the random-seed baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import registry
+from repro.diffusion.models import IC, LT, WC, Dynamics
+from repro.diffusion.simulation import monte_carlo_spread
+from repro.framework.runner import IMFramework
+from repro.graph.digraph import DiGraph
+
+K = 5
+MC = 300
+
+#: Cheap parameterizations for pure-Python integration runs.
+FAST_PARAMS = {
+    "CELF": {"mc_simulations": 20},
+    "CELF++": {"mc_simulations": 20},
+    "GREEDY": {"mc_simulations": 10},
+    "RIS": {"num_rr_sets": 1000},
+    "TIM+": {"epsilon": 0.5, "rr_scale": 0.02},
+    "IMM": {"epsilon": 0.5, "rr_scale": 0.02},
+    "StaticGreedy": {"num_snapshots": 40},
+    "PMC": {"num_snapshots": 40},
+    "EaSyIM": {"path_length": 3},
+}
+
+
+@pytest.fixture(scope="module")
+def topology():
+    rng = np.random.default_rng(42)
+    # Power-law-ish: preferential attachment, doubled arcs.
+    from repro.graph.generators import preferential_attachment
+
+    n, src, dst = preferential_attachment(150, 2, rng)
+    return DiGraph.from_arrays(n, src, dst)
+
+
+@pytest.fixture(scope="module")
+def weighted(topology):
+    return {m.name: m.weighted(topology) for m in (IC, WC, LT)}
+
+
+def all_pairs():
+    for name in registry.BENCHMARKED:
+        algo = registry.make(name)
+        for model in (IC, WC, LT):
+            if algo.supports(model):
+                yield name, model
+
+
+@pytest.mark.parametrize(
+    "name,model", list(all_pairs()), ids=lambda p: str(p)
+)
+def test_pair_end_to_end(name, model, weighted):
+    graph = weighted[model.name]
+    params = FAST_PARAMS.get(name, {})
+    algo = registry.make(name, **params)
+    rng = np.random.default_rng(7)
+    result = algo.select(graph, K, model, rng=rng)
+    assert len(result.seeds) == K
+    assert len(set(result.seeds)) == K
+
+    spread = monte_carlo_spread(graph, result.seeds, model, r=MC, rng=rng)
+    assert spread.mean >= K  # seeds themselves count
+
+    # Every technique must clear the uniform-random baseline.
+    random_seeds = list(rng.choice(graph.n, size=K, replace=False))
+    baseline = monte_carlo_spread(graph, random_seeds, model, r=MC, rng=rng)
+    assert spread.mean >= baseline.mean * 0.9
+
+
+def test_framework_runs_every_ok_algorithm(weighted):
+    fw = IMFramework(weighted["WC"], WC, mc_simulations=100)
+    for name in ("IMM", "EaSyIM", "Degree"):
+        params = FAST_PARAMS.get(name)
+        trace = fw.run(
+            name, 3, [params] if params else None, rng=np.random.default_rng(1)
+        )
+        assert trace.chosen.ok
+        assert trace.chosen.spread >= 3.0
+
+
+def test_seed_prefix_property(weighted):
+    """seeds[:k'] of a greedy technique equals its answer for smaller k'."""
+    graph = weighted["WC"]
+    rng_a = np.random.default_rng(5)
+    rng_b = np.random.default_rng(5)
+    big = registry.make("EaSyIM", path_length=3).select(graph, 5, WC, rng=rng_a)
+    small = registry.make("EaSyIM", path_length=3).select(graph, 2, WC, rng=rng_b)
+    assert big.seeds[:2] == small.seeds
+
+
+def test_wc_and_ic_pick_different_seeds_sometimes(weighted):
+    """M6's root: WC and constant-IC are different models and the same
+    technique may choose different seeds under them."""
+    rng = np.random.default_rng(3)
+    ic_res = registry.make("PMC", num_snapshots=60).select(
+        weighted["IC"], 5, IC, rng=rng
+    )
+    wc_res = registry.make("PMC", num_snapshots=60).select(
+        weighted["WC"], 5, WC, rng=rng
+    )
+    # Not asserting inequality of every element — just that the model is
+    # actually plumbed through (weights differ, so estimated spread does).
+    assert ic_res.extras["estimated_spread"] != wc_res.extras["estimated_spread"]

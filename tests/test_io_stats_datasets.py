@@ -1,0 +1,155 @@
+"""Tests for edge-list I/O, Table-1 statistics, and the dataset catalog."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    LARGE_DATASETS,
+    SMALL_DATASETS,
+    load,
+    names,
+    spec,
+    summary,
+    table1_rows,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.stats import bfs_distances, effective_diameter, graph_stats
+
+
+class TestIO:
+    def test_round_trip_weighted(self, tmp_path):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (3, 0)], weights=[0.1, 0.2, 0.3])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2 == g
+
+    def test_round_trip_unweighted(self, tmp_path):
+        g = DiGraph.from_edges(3, [(0, 1), (2, 1)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, weighted=False)
+        g2 = read_edge_list(path)
+        assert g2.m == 2
+        assert g2.weight(0, 1) == 1.0
+
+    def test_comments_and_header(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP header\n# more\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.m == 2
+
+    def test_sparse_ids_remapped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 200\n200 300\n")
+        g = read_edge_list(path)
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_undirected_doubling(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, undirected=True)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_bad_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_mixed_weighted_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5\n1 2\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_header_written(self, tmp_path):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header="generated")
+        assert path.read_text().startswith("# generated")
+
+
+class TestStats:
+    def test_bfs_distances_line(self, line_graph):
+        d = bfs_distances(line_graph, 0)
+        assert d.tolist() == [0, 1, 2, 3]
+
+    def test_bfs_unreachable(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        d = bfs_distances(g, 0)
+        assert d[2] == -1
+
+    def test_effective_diameter_line(self, line_graph):
+        # Distances 1,2,3 between connected pairs; 90th pct close to 3 hops.
+        diam = effective_diameter(line_graph)
+        assert 2.0 <= diam <= 3.0
+
+    def test_effective_diameter_empty(self):
+        assert effective_diameter(DiGraph.from_edges(0, [])) == 0.0
+
+    def test_graph_stats_undirected_convention(self):
+        # 2 undirected edges stored as 4 arcs.
+        g = DiGraph.from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1)])
+        s = graph_stats(g, name="tiny", directed=False)
+        assert s.m == 2
+        assert s.avg_degree == pytest.approx(2 / 3)
+
+    def test_graph_stats_directed(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        s = graph_stats(g, directed=True)
+        assert s.m == 2
+        assert s.avg_degree == pytest.approx(2 / 3)
+
+    def test_row_renders(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        row = graph_stats(g, name="x", directed=True).row()
+        assert "x" in row
+
+
+class TestCatalog:
+    def test_all_eight_datasets_present(self):
+        assert set(names()) == set(SMALL_DATASETS) | set(LARGE_DATASETS)
+        assert len(DATASETS) == 8
+
+    def test_load_is_deterministic_and_cached(self):
+        g1 = load("nethept")
+        g2 = load("nethept")
+        assert g1 is g2  # lru_cache
+        assert g1 == spec("nethept").generate()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            spec("facebook")
+
+    @pytest.mark.parametrize("name", SMALL_DATASETS)
+    def test_small_analogues_shape(self, name):
+        s = summary(name)
+        assert s.n >= 1000
+        assert s.m > 0
+        # Average degree within 2x of the paper's value.
+        assert 0.5 * s.avg_degree < DATASETS[name].paper_avg_degree * 2
+
+    def test_directedness_matches_paper(self):
+        assert not spec("orkut").directed
+        assert spec("twitter").directed
+        assert spec("livejournal").directed
+
+    def test_undirected_analogues_symmetric(self):
+        g = load("nethept")
+        src = g.edge_src
+        for j in range(0, g.m, max(g.m // 50, 1)):
+            assert g.has_edge(int(g.out_dst[j]), int(src[j]))
+
+    def test_table1_renders_all_rows(self):
+        text = table1_rows()
+        for name in names():
+            assert name in text
+
+    def test_orkut_denser_than_nethept(self):
+        # The density gap drives the IC blow-up experiments.
+        orkut = summary("orkut")
+        nethept = summary("nethept")
+        assert orkut.avg_degree > 5 * nethept.avg_degree

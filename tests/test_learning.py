@@ -1,0 +1,162 @@
+"""Tests for the influence-probability learning substrate."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.independent_cascade import simulate_ic_times
+from repro.diffusion.models import IC
+from repro.graph.digraph import DiGraph
+from repro.learning import (
+    ActionLog,
+    bernoulli,
+    generate_action_log,
+    jaccard,
+    partial_credits,
+    seed_set_transfer,
+    weight_error,
+)
+
+
+@pytest.fixture
+def chain():
+    return DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[0.7, 0.4])
+
+
+class TestSimulateICTimes:
+    def test_seed_time_zero(self, chain, rng):
+        times = simulate_ic_times(chain, [0], rng)
+        assert times[0] == 0
+
+    def test_times_strictly_ordered_along_chain(self, rng):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[1.0, 1.0])
+        times = simulate_ic_times(g, [0], rng)
+        assert times.tolist() == [0, 1, 2]
+
+    def test_inactive_marked(self, rng):
+        g = DiGraph.from_edges(2, [(0, 1)], weights=[0.0])
+        times = simulate_ic_times(g, [0], rng)
+        assert times[1] == -1
+
+    def test_empty_seeds(self, chain, rng):
+        assert (simulate_ic_times(chain, [], rng) == -1).all()
+
+    def test_agrees_with_activation_mask(self, chain):
+        from repro.diffusion.independent_cascade import simulate_ic
+
+        a = simulate_ic(chain, [0], np.random.default_rng(3))
+        t = simulate_ic_times(chain, [0], np.random.default_rng(3))
+        assert np.array_equal(a, t >= 0)
+
+
+class TestActionLog:
+    def test_add_and_len(self):
+        log = ActionLog(3)
+        log.add({0: 0, 1: 1})
+        assert len(log) == 1
+
+    def test_rejects_bad_user(self):
+        log = ActionLog(2)
+        with pytest.raises(ValueError):
+            log.add({5: 0})
+
+    def test_participation_counts(self):
+        log = ActionLog(3)
+        log.add({0: 0, 1: 1})
+        log.add({1: 0})
+        assert log.participation_counts().tolist() == [1, 2, 0]
+
+    def test_mean_cascade_size(self):
+        log = ActionLog(3)
+        assert log.mean_cascade_size() == 0.0
+        log.add({0: 0})
+        log.add({0: 0, 1: 1, 2: 2})
+        assert log.mean_cascade_size() == 2.0
+
+    def test_generate_log_shapes(self, chain, rng):
+        log = generate_action_log(chain, 20, rng)
+        assert len(log) == 20
+        assert all(0 in {t for t in a.values()} for a in log.actions)
+
+    def test_generate_validates(self, chain, rng):
+        with pytest.raises(ValueError):
+            generate_action_log(chain, -1, rng)
+        with pytest.raises(ValueError):
+            generate_action_log(chain, 1, rng, seeds_per_action=0)
+
+
+class TestEstimators:
+    def _log_from_chain(self, chain, actions=3000):
+        return generate_action_log(chain, actions, np.random.default_rng(0))
+
+    def test_bernoulli_recovers_chain_weights(self, chain):
+        log = self._log_from_chain(chain)
+        learned = bernoulli(chain, log)
+        assert learned.weight(0, 1) == pytest.approx(0.7, abs=0.05)
+        assert learned.weight(1, 2) == pytest.approx(0.4, abs=0.05)
+
+    def test_unseen_edges_get_default(self):
+        g = DiGraph.from_edges(2, [(0, 1)], weights=[0.5])
+        learned = bernoulli(g, ActionLog(2), default=0.25)
+        assert learned.weight(0, 1) == 0.25
+
+    def test_jaccard_bounded(self, chain):
+        log = self._log_from_chain(chain, actions=500)
+        learned = jaccard(chain, log)
+        assert ((learned.out_w >= 0) & (learned.out_w <= 1)).all()
+
+    def test_partial_credits_splits_among_parents(self, rng):
+        # Both 0 and 1 always act at t=0 and 2 immediately follows: each
+        # parent should receive about half the credit.
+        g = DiGraph.from_edges(3, [(0, 2), (1, 2)], weights=[0.9, 0.9])
+        log = ActionLog(3)
+        for __ in range(100):
+            log.add({0: 0, 1: 0, 2: 1})
+        full = bernoulli(g, log)
+        shared = partial_credits(g, log)
+        assert full.weight(0, 2) == pytest.approx(1.0)
+        assert shared.weight(0, 2) == pytest.approx(0.5)
+        assert shared.weight(1, 2) == pytest.approx(0.5)
+
+    def test_bernoulli_more_data_more_accurate(self, chain):
+        small = bernoulli(chain, generate_action_log(
+            chain, 30, np.random.default_rng(1)))
+        big = bernoulli(chain, generate_action_log(
+            chain, 5000, np.random.default_rng(1)))
+        err_small = weight_error(chain, small).mae
+        err_big = weight_error(chain, big).mae
+        assert err_big <= err_small + 0.02
+
+
+class TestEvaluation:
+    def test_weight_error_zero_for_identical(self, chain):
+        err = weight_error(chain, chain)
+        assert err.mae == 0.0
+        assert err.rmse == 0.0
+
+    def test_weight_error_mismatched_topology(self, chain):
+        other = DiGraph.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            weight_error(chain, other)
+
+    def test_coverage_counts_non_default(self, chain):
+        learned = chain.with_weights(np.array([0.5, 0.0]))
+        err = weight_error(chain, learned, default=0.0)
+        assert err.coverage == pytest.approx(0.5)
+
+    def test_seed_transfer_end_to_end(self, rng):
+        from repro.algorithms import make
+
+        trial = np.random.default_rng(4)
+        g = DiGraph.from_arrays(
+            50, trial.integers(0, 50, 200), trial.integers(0, 50, 200)
+        )
+        true_graph = g.with_weights(
+            np.random.default_rng(5).uniform(0.05, 0.4, g.m)
+        )
+        log = generate_action_log(true_graph, 2000, np.random.default_rng(6))
+        learned = bernoulli(true_graph, log)
+        result = seed_set_transfer(
+            true_graph, learned, IC, make("EaSyIM", path_length=3),
+            k=3, rng=rng, mc_simulations=500,
+        )
+        assert result["transfer_ratio"] >= 0.8

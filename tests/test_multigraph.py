@@ -1,0 +1,64 @@
+"""Unit tests for multigraphs and the LT parallel-edges consolidation."""
+
+import pytest
+
+from repro.graph.multigraph import MultiDiGraph, consolidate
+from repro.graph.weights import incoming_weight_sums
+
+
+class TestMultiDiGraph:
+    def test_multiplicity_accumulates(self):
+        mg = MultiDiGraph(3)
+        mg.add_edge(0, 1)
+        mg.add_edge(0, 1)
+        mg.add_edge(0, 1, count=3)
+        assert mg.multiplicity(0, 1) == 5
+        assert mg.num_arcs == 5
+        assert mg.num_edges == 1
+
+    def test_constructor_edges(self):
+        mg = MultiDiGraph(3, [(0, 1), (0, 1), (1, 2)])
+        assert mg.multiplicity(0, 1) == 2
+        assert mg.multiplicity(1, 2) == 1
+
+    def test_self_loops_ignored(self):
+        mg = MultiDiGraph(2, [(0, 0), (0, 1)])
+        assert mg.num_edges == 1
+
+    def test_out_of_range_raises(self):
+        mg = MultiDiGraph(2)
+        with pytest.raises(ValueError):
+            mg.add_edge(0, 5)
+
+    def test_bad_count_raises(self):
+        mg = MultiDiGraph(2)
+        with pytest.raises(ValueError):
+            mg.add_edge(0, 1, count=0)
+
+
+class TestConsolidate:
+    def test_weights_proportional_to_multiplicity(self):
+        # Phone-call network: 0 calls 2 thrice, 1 calls 2 once.
+        mg = MultiDiGraph(3, [(0, 2)] * 3 + [(1, 2)])
+        g = consolidate(mg)
+        assert g.weight(0, 2) == pytest.approx(0.75)
+        assert g.weight(1, 2) == pytest.approx(0.25)
+
+    def test_incoming_sums_are_one(self):
+        mg = MultiDiGraph(4, [(0, 3), (0, 3), (1, 3), (2, 3), (3, 0)])
+        g = consolidate(mg)
+        sums = incoming_weight_sums(g)
+        assert sums[3] == pytest.approx(1.0)
+        assert sums[0] == pytest.approx(1.0)
+
+    def test_generalizes_uniform_model(self):
+        # With all multiplicities 1, weights reduce to 1/|In(v)|.
+        mg = MultiDiGraph(3, [(0, 2), (1, 2)])
+        g = consolidate(mg)
+        assert g.weight(0, 2) == pytest.approx(0.5)
+        assert g.weight(1, 2) == pytest.approx(0.5)
+
+    def test_empty_multigraph(self):
+        g = consolidate(MultiDiGraph(4))
+        assert g.n == 4
+        assert g.m == 0

@@ -1,0 +1,115 @@
+"""Tests for the opinion-aware (OI) diffusion extension."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import OpinionEaSyIM
+from repro.diffusion import (
+    IC,
+    LT,
+    assign_opinions,
+    monte_carlo_opinion_spread,
+    simulate_opinion_spread,
+)
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def chain():
+    return DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[1.0, 1.0])
+
+
+class TestAssignOpinions:
+    def test_range(self, rng):
+        opinions = assign_opinions(500, rng)
+        assert ((opinions >= -1.0) & (opinions <= 1.0)).all()
+
+    def test_negative_fraction(self, rng):
+        opinions = assign_opinions(2000, rng, negative_fraction=0.3)
+        assert (opinions < 0).mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_zero_negatives(self, rng):
+        opinions = assign_opinions(200, rng, negative_fraction=0.0)
+        assert (opinions >= 0).all()
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            assign_opinions(10, rng, negative_fraction=1.5)
+
+
+class TestOpinionSpread:
+    def test_deterministic_chain_sums_opinions(self, chain, rng):
+        opinions = np.array([0.5, -0.25, 1.0])
+        payoff = simulate_opinion_spread(chain, [0], opinions, rng)
+        assert payoff == pytest.approx(1.25)  # all three activate
+
+    def test_detractors_reduce_payoff(self, chain, rng):
+        good = np.array([0.5, 0.5, 0.5])
+        bad = np.array([0.5, -0.9, 0.5])
+        p_good = monte_carlo_opinion_spread(chain, [0], good, r=50, rng=rng)
+        p_bad = monte_carlo_opinion_spread(chain, [0], bad, r=50, rng=rng)
+        assert p_bad.mean < p_good.mean
+
+    def test_shape_validation(self, chain, rng):
+        with pytest.raises(ValueError):
+            simulate_opinion_spread(chain, [0], np.array([0.5]), rng)
+
+    def test_invalid_r(self, chain, rng):
+        with pytest.raises(ValueError):
+            monte_carlo_opinion_spread(chain, [0], np.zeros(3), r=0, rng=rng)
+
+
+class TestOpinionEaSyIM:
+    def test_avoids_detractor_heavy_regions(self, rng):
+        # Hub 0 reaches detractors; hub 4 reaches supporters: seed 4 first.
+        g = DiGraph.from_edges(
+            8,
+            [(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7)],
+            weights=[0.9] * 6,
+        )
+        opinions = np.array([0.1, -0.9, -0.9, -0.9, 0.1, 0.9, 0.9, 0.9])
+        res = OpinionEaSyIM(opinions, path_length=2).select(g, 1, IC, rng=rng)
+        assert res.seeds == [4]
+
+    def test_oblivious_easyim_would_tie(self, rng):
+        # With all-ones opinions the OI scores reduce to EaSyIM's.
+        from repro.algorithms import EaSyIM
+
+        trial = np.random.default_rng(2)
+        g = IC.weighted(DiGraph.from_arrays(
+            30, trial.integers(0, 30, 90), trial.integers(0, 30, 90)
+        ))
+        ones = np.ones(30)
+        oi = OpinionEaSyIM(ones, path_length=3).select(g, 3, IC, rng=rng)
+        plain = EaSyIM(path_length=3).select(g, 3, IC, rng=rng)
+        assert oi.seeds == plain.seeds
+
+    def test_supports_lt_weights(self, rng):
+        g = LT.weighted(DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)]))
+        res = OpinionEaSyIM(np.ones(4), path_length=2).select(g, 2, LT, rng=rng)
+        assert len(res.seeds) == 2
+
+    def test_payoff_beats_oblivious_selection(self, rng):
+        from repro.algorithms import EaSyIM
+
+        trial = np.random.default_rng(7)
+        g = IC.weighted(DiGraph.from_arrays(
+            60, trial.integers(0, 60, 240), trial.integers(0, 60, 240)
+        ))
+        opinions = assign_opinions(60, np.random.default_rng(8),
+                                   negative_fraction=0.4)
+        aware = OpinionEaSyIM(opinions, path_length=3).select(g, 5, IC, rng=rng)
+        oblivious = EaSyIM(path_length=3).select(g, 5, IC, rng=rng)
+        p_aware = monte_carlo_opinion_spread(
+            g, aware.seeds, opinions, r=1500, rng=np.random.default_rng(9))
+        p_oblivious = monte_carlo_opinion_spread(
+            g, oblivious.seeds, opinions, r=1500, rng=np.random.default_rng(9))
+        assert p_aware.mean >= p_oblivious.mean - 2 * p_aware.std / np.sqrt(1500)
+
+    def test_opinion_shape_validated(self, chain, rng):
+        with pytest.raises(ValueError):
+            OpinionEaSyIM(np.ones(2)).select(chain, 1, IC, rng=rng)
+
+    def test_invalid_path_length(self):
+        with pytest.raises(ValueError):
+            OpinionEaSyIM(np.ones(3), path_length=0)

@@ -1,0 +1,49 @@
+"""Package-level surface tests: public API exports and the core alias."""
+
+import repro
+import repro.core as core
+import repro.framework as framework
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_exported(self):
+        for name in ("algorithms", "datasets", "diffusion", "framework", "graph"):
+            assert hasattr(repro, name)
+
+    def test_core_aliases_framework(self):
+        # repro.core re-exports the platform (the paper's contribution).
+        assert core.IMFramework is framework.IMFramework
+        assert core.tune_parameter is framework.tune_parameter
+        assert core.recommend is framework.recommend
+
+    def test_all_lists_resolve(self):
+        import importlib
+
+        for module_name in (
+            "repro.graph",
+            "repro.datasets",
+            "repro.diffusion",
+            "repro.algorithms",
+            "repro.framework",
+            "repro.core",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_docstrings_on_public_modules(self):
+        import importlib
+
+        for module_name in (
+            "repro",
+            "repro.graph.digraph",
+            "repro.graph.weights",
+            "repro.diffusion.simulation",
+            "repro.algorithms.base",
+            "repro.framework.runner",
+        ):
+            module = importlib.import_module(module_name)
+            assert module.__doc__ and len(module.__doc__) > 40

@@ -1,0 +1,75 @@
+"""Tests for process-parallel Monte-Carlo spread estimation."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import Dynamics, WC
+from repro.diffusion.simulation import monte_carlo_spread
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(0)
+    g = DiGraph.from_arrays(
+        80, rng.integers(0, 80, 320), rng.integers(0, 80, 320)
+    )
+    return WC.weighted(g)
+
+
+class TestParallelMC:
+    def test_parallel_matches_serial_statistically(self, graph):
+        serial = monte_carlo_spread(
+            graph, [0, 1, 2], WC, r=600, rng=np.random.default_rng(1)
+        )
+        parallel = monte_carlo_spread(
+            graph, [0, 1, 2], WC, r=600, rng=np.random.default_rng(2), workers=3
+        )
+        # Same estimator, independent randomness: agree within joint error.
+        tolerance = 4 * (serial.stderr + parallel.stderr)
+        assert parallel.mean == pytest.approx(serial.mean, abs=tolerance)
+
+    def test_reproducible_for_fixed_seed_and_workers(self, graph):
+        a = monte_carlo_spread(
+            graph, [3], WC, r=100, rng=np.random.default_rng(5), workers=2
+        )
+        b = monte_carlo_spread(
+            graph, [3], WC, r=100, rng=np.random.default_rng(5), workers=2
+        )
+        assert a.mean == b.mean
+        assert a.std == b.std
+
+    def test_exact_sample_count(self, graph):
+        # r not divisible by workers still yields exactly r samples.
+        __, samples = monte_carlo_spread(
+            graph, [0], WC, r=101, rng=np.random.default_rng(3),
+            workers=4, return_samples=True,
+        )
+        assert samples.shape == (101,)
+
+    def test_more_workers_than_samples(self, graph):
+        estimate = monte_carlo_spread(
+            graph, [0], WC, r=2, rng=np.random.default_rng(4), workers=8
+        )
+        assert estimate.simulations == 2
+
+    def test_workers_one_is_serial(self, graph):
+        a = monte_carlo_spread(
+            graph, [0], WC, r=50, rng=np.random.default_rng(6), workers=1
+        )
+        b = monte_carlo_spread(
+            graph, [0], WC, r=50, rng=np.random.default_rng(6)
+        )
+        assert a.mean == b.mean
+
+    def test_lt_dynamics_supported(self, graph):
+        from repro.diffusion.models import LT
+
+        lt_graph = LT.weighted(
+            DiGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        )
+        estimate = monte_carlo_spread(
+            lt_graph, [0], Dynamics.LT, r=40,
+            rng=np.random.default_rng(7), workers=2,
+        )
+        assert estimate.mean == 5.0  # weight-1 chain activates fully

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) on core structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion._frontier import gather_edges
+from repro.diffusion.models import Dynamics
+from repro.diffusion.rrsets import RRCollection, greedy_max_cover
+from repro.graph import weights as weight_schemes
+from repro.graph.digraph import DiGraph
+from tests.oracles import exact_ic_spread, exact_lt_spread
+
+
+@st.composite
+def small_graphs(draw, max_nodes=7, max_edges=10, weighted=True):
+    """Random small weighted digraphs (few enough edges for exact oracles)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    )
+    edges = draw(st.lists(pairs, max_size=max_edges, unique=True))
+    edges = [(u, v) for u, v in edges if u != v]
+    if weighted:
+        ws = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                min_size=len(edges),
+                max_size=len(edges),
+            )
+        )
+    else:
+        ws = None
+    return DiGraph.from_edges(n, edges, weights=ws)
+
+
+class TestCSRInvariants:
+    @given(small_graphs(max_nodes=10, max_edges=25))
+    def test_degree_sums_equal_m(self, g):
+        assert g.out_degree().sum() == g.m
+        assert g.in_degree().sum() == g.m
+
+    @given(small_graphs(max_nodes=10, max_edges=25))
+    def test_in_out_views_consistent(self, g):
+        out_pairs = {(u, v): w for u, v, w in g.edges()}
+        in_pairs = {}
+        for v in range(g.n):
+            src, w = g.in_neighbors(v)
+            for u, wu in zip(src, w):
+                in_pairs[(int(u), v)] = float(wu)
+        assert out_pairs == in_pairs
+
+    @given(small_graphs(max_nodes=10, max_edges=25))
+    def test_ptr_arrays_monotone(self, g):
+        assert (np.diff(g.out_ptr) >= 0).all()
+        assert (np.diff(g.in_ptr) >= 0).all()
+        assert g.out_ptr[-1] == g.m
+        assert g.in_ptr[-1] == g.m
+
+    @given(small_graphs(max_nodes=8, max_edges=20))
+    def test_reverse_preserves_edge_multiset(self, g):
+        r = g.reverse()
+        fwd = sorted((u, v, round(w, 9)) for u, v, w in g.edges())
+        bwd = sorted((v, u, round(w, 9)) for u, v, w in r.edges())
+        assert fwd == bwd
+
+
+class TestWeightSchemeInvariants:
+    @given(small_graphs(max_nodes=8, max_edges=20, weighted=False))
+    def test_wc_incoming_sums_one(self, g):
+        wg = weight_schemes.weighted_cascade(g)
+        sums = weight_schemes.incoming_weight_sums(wg)
+        for v in range(g.n):
+            if wg.in_degree(v) > 0:
+                assert sums[v] == pytest.approx(1.0)
+
+    @given(small_graphs(max_nodes=8, max_edges=20, weighted=False), st.integers(0, 2**31 - 1))
+    def test_lt_random_sums_one(self, g, seed):
+        wg = weight_schemes.lt_random(g, rng=np.random.default_rng(seed))
+        sums = weight_schemes.incoming_weight_sums(wg)
+        for v in range(g.n):
+            if wg.in_degree(v) > 0:
+                assert sums[v] == pytest.approx(1.0)
+
+    @given(small_graphs(max_nodes=8, max_edges=20, weighted=False), st.floats(0.0, 1.0))
+    def test_constant_within_bounds(self, g, p):
+        wg = weight_schemes.constant(g, p)
+        assert ((wg.out_w >= 0) & (wg.out_w <= 1)).all()
+
+
+class TestSpreadProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(max_nodes=5, max_edges=7))
+    def test_ic_spread_monotone_in_seeds(self, g):
+        """σ is monotone (Sec. 2.2): exact enumeration ground truth."""
+        base = exact_ic_spread(g, [0])
+        larger = exact_ic_spread(g, [0, 1])
+        assert larger >= base - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(max_nodes=5, max_edges=7))
+    def test_ic_spread_submodular(self, g):
+        """Marginal gains diminish: σ(S+v)−σ(S) >= σ(T+v)−σ(T) for S ⊆ T."""
+        if g.n < 3:
+            return
+        v = g.n - 1
+        gain_small = exact_ic_spread(g, [0, v]) - exact_ic_spread(g, [0])
+        gain_large = exact_ic_spread(g, [0, 1, v]) - exact_ic_spread(g, [0, 1])
+        assert gain_small >= gain_large - 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_graphs(max_nodes=4, max_edges=5, weighted=False))
+    def test_lt_spread_monotone(self, g):
+        wg = weight_schemes.lt_uniform(g)
+        base = exact_lt_spread(wg, [0])
+        larger = exact_lt_spread(wg, [0, 1])
+        assert larger >= base - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(max_nodes=5, max_edges=7))
+    def test_spread_bounded(self, g):
+        value = exact_ic_spread(g, [0])
+        assert 1.0 - 1e-9 <= value <= g.n + 1e-9
+
+
+class TestFrontierGather:
+    @given(small_graphs(max_nodes=10, max_edges=30), st.data())
+    def test_matches_naive_slicing(self, g, data):
+        nodes = data.draw(
+            st.lists(
+                st.integers(0, g.n - 1), min_size=0, max_size=g.n, unique=True
+            )
+        )
+        nodes = np.asarray(sorted(nodes), dtype=np.int64)
+        got = gather_edges(g.out_ptr, nodes)
+        expected = np.concatenate(
+            [np.arange(g.out_ptr[u], g.out_ptr[u + 1]) for u in nodes]
+        ) if nodes.size else np.empty(0, dtype=np.int64)
+        assert np.array_equal(np.sort(got), np.sort(expected))
+
+
+class TestMaxCoverProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 9), min_size=1, max_size=4),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(1, 4),
+    )
+    def test_greedy_at_least_single_best(self, sets, k):
+        pool = RRCollection(10)
+        for s in sets:
+            pool.add(np.asarray(sorted(set(s)), dtype=np.int64))
+        __, coverage = greedy_max_cover(pool, k)
+        best_single = max(
+            pool.coverage_fraction([v]) for v in range(10)
+        )
+        assert coverage >= best_single - 1e-12
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 9), min_size=1, max_size=4),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_coverage_monotone_in_k(self, sets):
+        pool = RRCollection(10)
+        for s in sets:
+            pool.add(np.asarray(sorted(set(s)), dtype=np.int64))
+        coverages = [greedy_max_cover(pool, k)[1] for k in (1, 2, 3)]
+        assert coverages == sorted(coverages)

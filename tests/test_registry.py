@@ -1,0 +1,89 @@
+"""Tests for the algorithm registry and Table-5 support matrix."""
+
+import pytest
+
+from repro.algorithms import registry
+from repro.algorithms.imrank import IMRank
+from repro.diffusion.models import IC, LT, WC, Dynamics
+
+
+class TestMake:
+    def test_all_registered_names_instantiate(self):
+        for name in registry.ALGORITHMS:
+            algo = registry.make(name)
+            assert algo.name in (name, "IMRank1", "IMRank2")
+
+    def test_parameter_override(self):
+        algo = registry.make("CELF", mc_simulations=42)
+        assert algo.mc_simulations == 42
+
+    def test_imrank_variants_keep_l(self):
+        algo = registry.make("IMRank2", scoring_rounds=5)
+        assert isinstance(algo, IMRank)
+        assert algo.l == 2
+        assert algo.scoring_rounds == 5
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            registry.make("MAGIC")
+
+
+class TestSupportMatrix:
+    """Table 5's exact content."""
+
+    TABLE5 = {
+        "CELF": (True, True),
+        "CELF++": (True, True),
+        "EaSyIM": (True, True),
+        "IMRank1": (True, False),
+        "IMRank2": (True, False),
+        "IRIE": (True, False),
+        "PMC": (True, False),
+        "StaticGreedy": (True, False),
+        "TIM+": (True, True),
+        "IMM": (True, True),
+        "SIMPATH": (False, True),
+        "LDAG": (False, True),
+    }
+
+    @pytest.mark.parametrize("name,expected", sorted(TABLE5.items()))
+    def test_matches_paper(self, name, expected):
+        ic, lt = expected
+        assert registry.supports(name, Dynamics.IC) == ic
+        assert registry.supports(name, Dynamics.LT) == lt
+
+    def test_wc_counts_as_ic(self):
+        # WC is an instance of the IC dynamics (myth M6).
+        assert registry.supports("PMC", WC)
+        assert not registry.supports("LDAG", WC)
+
+    def test_render_includes_all_benchmarked(self):
+        text = registry.support_matrix()
+        for name in registry.BENCHMARKED:
+            assert name in text
+
+
+class TestOptimalParameters:
+    def test_table2_values(self):
+        assert registry.optimal_parameters("TIM+", "IC") == {"epsilon": 0.05}
+        assert registry.optimal_parameters("IMM", "WC") == {"epsilon": 0.1}
+        assert registry.optimal_parameters("CELF", "LT") == {"mc_simulations": 10000}
+        assert registry.optimal_parameters("PMC", "IC") == {"num_snapshots": 200}
+
+    def test_accepts_model_object(self):
+        assert registry.optimal_parameters("IMM", WC) == {"epsilon": 0.1}
+
+    def test_missing_combo_is_empty(self):
+        assert registry.optimal_parameters("LDAG", "LT") == {}
+        assert registry.optimal_parameters("PMC", "LT") == {}
+
+    def test_make_tuned(self):
+        algo = registry.make_tuned("IMM", IC, rr_scale=0.01)
+        assert algo.epsilon == 0.05
+        assert algo.rr_scale == 0.01
+
+    def test_benchmarked_list_has_eleven_techniques(self):
+        # Eleven techniques; IMRank contributes two variants.
+        assert len(registry.BENCHMARKED) == 12
+        base_names = {n.rstrip("12") for n in registry.BENCHMARKED}
+        assert len(base_names) == 11

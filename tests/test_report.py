@@ -1,0 +1,58 @@
+"""Tests for the reproduction-report aggregator."""
+
+import pathlib
+
+import pytest
+
+from repro.framework.report import EXPERIMENT_ORDER, collect_results, render_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig06_quality.txt").write_text("spread table\n")
+    (tmp_path / "mystery_extra.txt").write_text("surprise\n")
+    return tmp_path
+
+
+class TestCollect:
+    def test_reads_all_txt(self, results_dir):
+        results = collect_results(results_dir)
+        assert results["fig06_quality"] == "spread table"
+        assert "mystery_extra" in results
+
+    def test_missing_dir(self, tmp_path):
+        assert collect_results(tmp_path / "nope") == {}
+
+
+class TestRender:
+    def test_produced_section_embedded(self, results_dir):
+        report = render_report(results_dir)
+        assert "Fig. 6 — spread vs #seeds" in report
+        assert "spread table" in report
+
+    def test_missing_sections_marked(self, results_dir):
+        report = render_report(results_dir)
+        assert report.count("not yet run") == len(EXPERIMENT_ORDER) - 1
+
+    def test_unknown_outputs_appended(self, results_dir):
+        report = render_report(results_dir)
+        assert "Additional outputs" in report
+        assert "mystery_extra" in report
+        assert "surprise" in report
+
+    def test_cli_report_to_file(self, results_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main([
+            "report", "--results-dir", str(results_dir),
+            "--output", str(out),
+        ])
+        assert code == 0
+        assert "Reproduction report" in out.read_text()
+
+    def test_cli_report_to_stdout(self, results_dir, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--results-dir", str(results_dir)]) == 0
+        assert "Reproduction report" in capsys.readouterr().out

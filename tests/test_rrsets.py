@@ -1,0 +1,139 @@
+"""Tests for reverse-reachable set sampling and greedy max-cover."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import Dynamics
+from repro.diffusion.rrsets import RRCollection, greedy_max_cover, random_rr_set
+from repro.graph.digraph import DiGraph
+from tests.oracles import exact_ic_spread, exact_lt_spread
+
+
+class TestRandomRRSet:
+    def test_root_always_included(self, diamond_graph, rng):
+        nodes, __ = random_rr_set(diamond_graph, Dynamics.IC, rng, root=3)
+        assert 3 in nodes.tolist()
+
+    def test_unit_weights_reach_all_ancestors(self, rng):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[1.0, 1.0])
+        nodes, __ = random_rr_set(g, Dynamics.IC, rng, root=2)
+        assert sorted(nodes.tolist()) == [0, 1, 2]
+
+    def test_zero_weights_stay_at_root(self, rng):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[0.0, 0.0])
+        nodes, __ = random_rr_set(g, Dynamics.IC, rng, root=2)
+        assert nodes.tolist() == [2]
+
+    def test_width_counts_in_edges(self, rng):
+        g = DiGraph.from_edges(4, [(0, 3), (1, 3), (2, 3)], weights=[0.0, 0.0, 0.0])
+        __, width = random_rr_set(g, Dynamics.IC, rng, root=3)
+        assert width == 3
+
+    def test_lt_rr_is_a_path(self, rng):
+        # Under LT the RR set is a reverse walk: its size never exceeds
+        # the longest simple path + 1 and each step has one parent.
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)], weights=[1.0, 1.0, 1.0])
+        nodes, __ = random_rr_set(g, Dynamics.LT, rng, root=3)
+        assert sorted(nodes.tolist()) == [0, 1, 2, 3]
+
+    def test_lt_residual_stops_walk(self, rng):
+        g = DiGraph.from_edges(2, [(0, 1)], weights=[0.4])
+        sizes = [
+            random_rr_set(g, Dynamics.LT, rng, root=1)[0].size for __ in range(4000)
+        ]
+        assert np.mean([s == 2 for s in sizes]) == pytest.approx(0.4, abs=0.03)
+
+    def test_empty_graph_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_rr_set(DiGraph.from_edges(0, []), Dynamics.IC, rng)
+
+
+class TestUnbiasedness:
+    """Borgs et al.'s identity: P[S hits RR(v*)] = σ(S)/n for uniform v*."""
+
+    @pytest.mark.parametrize("dynamics,oracle", [
+        (Dynamics.IC, exact_ic_spread),
+        (Dynamics.LT, exact_lt_spread),
+    ])
+    def test_coverage_matches_exact_spread(self, diamond_graph, rng, dynamics, oracle):
+        if dynamics is Dynamics.LT:
+            # Scale weights so incoming sums stay <= 1.
+            graph = diamond_graph
+        else:
+            graph = diamond_graph
+        seeds = [0]
+        pool = RRCollection(graph.n)
+        pool.extend(graph, dynamics, 30000, rng)
+        estimate = pool.coverage_fraction(seeds) * graph.n
+        exact = oracle(graph, seeds)
+        assert estimate == pytest.approx(exact, abs=0.08)
+
+    def test_multi_seed_coverage(self, diamond_graph, rng):
+        pool = RRCollection(diamond_graph.n)
+        pool.extend(diamond_graph, Dynamics.IC, 30000, rng)
+        estimate = pool.coverage_fraction([1, 2]) * diamond_graph.n
+        exact = exact_ic_spread(diamond_graph, [1, 2])
+        assert estimate == pytest.approx(exact, abs=0.08)
+
+
+class TestRRCollection:
+    def test_inverted_index(self):
+        pool = RRCollection(4)
+        pool.add(np.array([0, 1]))
+        pool.add(np.array([1, 2]))
+        assert pool.member_of[1] == [0, 1]
+        assert pool.member_of[3] == []
+        assert len(pool) == 2
+
+    def test_total_width_accumulates(self):
+        pool = RRCollection(3)
+        pool.add(np.array([0]), width=5)
+        pool.add(np.array([1]), width=7)
+        assert pool.total_width == 12
+
+    def test_coverage_fraction_empty(self):
+        assert RRCollection(3).coverage_fraction([0]) == 0.0
+
+
+class TestGreedyMaxCover:
+    def test_picks_most_frequent_node(self):
+        pool = RRCollection(4)
+        pool.add(np.array([0, 1]))
+        pool.add(np.array([1, 2]))
+        pool.add(np.array([1]))
+        seeds, coverage = greedy_max_cover(pool, 1)
+        assert seeds == [1]
+        assert coverage == 1.0
+
+    def test_second_seed_is_marginal_best(self):
+        pool = RRCollection(5)
+        pool.add(np.array([0, 1]))
+        pool.add(np.array([0, 1]))
+        pool.add(np.array([2]))
+        pool.add(np.array([3]))
+        pool.add(np.array([3]))
+        seeds, coverage = greedy_max_cover(pool, 2)
+        # 0 or 1 covers two sets; then 3 covers two more (2 covers one).
+        assert seeds[0] in (0, 1)
+        assert seeds[1] == 3
+        assert coverage == pytest.approx(4 / 5)
+
+    def test_pads_to_k_when_cover_exhausted(self):
+        pool = RRCollection(5)
+        pool.add(np.array([0]))
+        seeds, coverage = greedy_max_cover(pool, 3)
+        assert len(seeds) == 3
+        assert seeds[0] == 0
+        assert coverage == 1.0
+
+    def test_k_zero(self):
+        pool = RRCollection(3)
+        pool.add(np.array([0]))
+        assert greedy_max_cover(pool, 0) == ([], 0.0)
+
+    def test_no_duplicate_seeds(self):
+        pool = RRCollection(4)
+        for __ in range(5):
+            pool.add(np.array([2]))
+        seeds, __ = greedy_max_cover(pool, 3)
+        assert len(set(seeds)) == 3

@@ -1,0 +1,111 @@
+"""Tests for SIMPATH path enumeration and selection."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.simpath import SIMPATH, simpath_spread
+from repro.diffusion.models import IC, LT
+from repro.diffusion.simulation import monte_carlo_spread
+from repro.graph.digraph import DiGraph
+from tests.oracles import exact_lt_spread
+
+
+def all_allowed(n):
+    return np.ones(n, dtype=bool)
+
+
+class TestSimpathSpread:
+    def test_isolated_node(self):
+        g = DiGraph.from_edges(2, [])
+        assert simpath_spread(g, 0, all_allowed(2), eta=1e-3) == 1.0
+
+    def test_single_edge(self):
+        g = DiGraph.from_edges(2, [(0, 1)], weights=[0.4])
+        assert simpath_spread(g, 0, all_allowed(2), eta=1e-3) == pytest.approx(1.4)
+
+    def test_chain_path_products(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[0.5, 0.5])
+        # paths: (0), (0,1)=0.5, (0,1,2)=0.25
+        assert simpath_spread(g, 0, all_allowed(3), eta=1e-3) == pytest.approx(1.75)
+
+    def test_matches_exact_lt_spread_on_dag(self):
+        # On a DAG with simple-path-unique structure SIMPATH is exact.
+        g = DiGraph.from_edges(
+            4, [(0, 1), (0, 2), (1, 3), (2, 3)], weights=[0.5, 0.3, 0.4, 0.2]
+        )
+        got = simpath_spread(g, 0, all_allowed(4), eta=1e-9)
+        assert got == pytest.approx(exact_lt_spread(g, [0]), abs=1e-9)
+
+    def test_pruning_threshold(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[0.1, 0.1])
+        # with eta=0.05 the length-2 path (0.01) is pruned
+        got = simpath_spread(g, 0, all_allowed(3), eta=0.05)
+        assert got == pytest.approx(1.1)
+
+    def test_blocked_nodes_excluded(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[0.5, 0.5])
+        allowed = np.array([True, False, True])
+        assert simpath_spread(g, 0, allowed, eta=1e-3) == pytest.approx(1.0)
+
+    def test_simple_paths_only(self):
+        # 2-cycle: paths from 0 are (0) and (0,1); no revisits.
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)], weights=[0.5, 0.5])
+        assert simpath_spread(g, 0, all_allowed(2), eta=1e-6) == pytest.approx(1.5)
+
+    def test_through_counts(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[0.5, 0.5])
+        through = np.zeros(3)
+        simpath_spread(g, 0, all_allowed(3), eta=1e-3, through=through)
+        assert through[1] == pytest.approx(0.75)  # 0.5 + 0.25 both pass node 1
+        assert through[2] == pytest.approx(0.25)
+        assert through[0] == 0.0
+
+
+class TestSelection:
+    def test_chain_picks_head(self, rng):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[1.0, 1.0])
+        res = SIMPATH().select(g, 1, LT, rng=rng)
+        assert res.seeds == [0]
+
+    def test_rejects_ic(self, rng):
+        g = DiGraph.from_edges(2, [(0, 1)], weights=[0.5])
+        with pytest.raises(ValueError):
+            SIMPATH().select(g, 1, IC, rng=rng)
+
+    def test_first_seed_is_exact_argmax(self, rng):
+        g = DiGraph.from_edges(
+            6, [(0, 1), (0, 2), (1, 3), (2, 4), (5, 4)],
+            weights=[0.5, 0.5, 0.5, 0.5, 0.5],
+        )
+        res = SIMPATH(eta=1e-9).select(g, 1, LT, rng=rng)
+        spreads = {v: exact_lt_spread(g, [v]) for v in range(6)}
+        assert res.seeds[0] == max(spreads, key=spreads.get)
+
+    def test_two_seeds_diversify(self, rng):
+        # Two disjoint chains: second seed must come from the other chain.
+        g = DiGraph.from_edges(
+            6, [(0, 1), (1, 2), (3, 4), (4, 5)], weights=[1.0] * 4
+        )
+        res = SIMPATH().select(g, 2, LT, rng=rng)
+        assert set(res.seeds) == {0, 3}
+
+    def test_agrees_with_ldag_on_random_graph(self, rng):
+        from repro.algorithms.ldag import LDAG
+        from repro.diffusion.models import LT as LTModel
+
+        trial_rng = np.random.default_rng(2)
+        g = DiGraph.from_arrays(
+            30, trial_rng.integers(0, 30, 80), trial_rng.integers(0, 30, 80)
+        )
+        wg = LTModel.weighted(g)
+        sp = SIMPATH().select(wg, 3, LTModel, rng=rng)
+        ld = LDAG().select(wg, 3, LTModel, rng=rng)
+        got_sp = monte_carlo_spread(wg, sp.seeds, LTModel, r=3000, rng=rng).mean
+        got_ld = monte_carlo_spread(wg, ld.seeds, LTModel, r=3000, rng=rng).mean
+        assert abs(got_sp - got_ld) < 0.15 * max(got_sp, got_ld)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SIMPATH(eta=0.0)
+        with pytest.raises(ValueError):
+            SIMPATH(lookahead=0)

@@ -1,0 +1,78 @@
+"""Tests for Monte-Carlo spread estimation (Alg. 1 / Definition 6)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import IC, WC, Dynamics
+from repro.diffusion.simulation import (
+    DEFAULT_MC_SIMULATIONS,
+    SpreadEstimate,
+    monte_carlo_spread,
+)
+from repro.graph.digraph import DiGraph
+
+
+class TestSpreadEstimate:
+    def test_stderr(self):
+        est = SpreadEstimate(mean=10.0, std=2.0, simulations=100)
+        assert est.stderr == pytest.approx(0.2)
+
+    def test_stderr_degenerate(self):
+        assert np.isnan(SpreadEstimate(1.0, 0.0, 0).stderr)
+
+
+class TestMonteCarlo:
+    def test_default_simulations_is_10k(self):
+        # Kempe et al.'s recommendation, followed by the paper.
+        assert DEFAULT_MC_SIMULATIONS == 10_000
+
+    def test_spread_at_least_seed_count(self, line_graph, rng):
+        est = monte_carlo_spread(line_graph, [0, 3], Dynamics.IC, r=50, rng=rng)
+        assert est.mean >= 2.0
+
+    def test_spread_at_most_n(self, line_graph, rng):
+        est = monte_carlo_spread(line_graph, [0], Dynamics.IC, r=50, rng=rng)
+        assert est.mean <= line_graph.n
+
+    def test_accepts_propagation_model(self, line_graph, rng):
+        est = monte_carlo_spread(line_graph, [0], IC, r=20, rng=rng)
+        assert est.simulations == 20
+
+    def test_return_samples(self, line_graph, rng):
+        est, samples = monte_carlo_spread(
+            line_graph, [0], Dynamics.IC, r=30, rng=rng, return_samples=True
+        )
+        assert samples.shape == (30,)
+        assert est.mean == pytest.approx(samples.mean())
+
+    def test_invalid_r(self, line_graph, rng):
+        with pytest.raises(ValueError):
+            monte_carlo_spread(line_graph, [0], Dynamics.IC, r=0, rng=rng)
+
+    def test_deterministic_graph_zero_variance(self, rng):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[1.0, 1.0])
+        est = monte_carlo_spread(g, [0], Dynamics.IC, r=50, rng=rng)
+        assert est.mean == 3.0
+        assert est.std == 0.0
+
+    def test_monotone_in_seed_set(self, two_cliques, rng):
+        # σ(S) is monotone (Sec. 2.2): adding a seed cannot hurt.
+        small = monte_carlo_spread(two_cliques, [0], Dynamics.IC, r=4000, rng=rng)
+        large = monte_carlo_spread(two_cliques, [0, 3], Dynamics.IC, r=4000, rng=rng)
+        assert large.mean >= small.mean - 3 * (small.stderr + large.stderr)
+
+    def test_seeded_reproducibility(self, two_cliques):
+        a = monte_carlo_spread(
+            two_cliques, [0], Dynamics.IC, r=100, rng=np.random.default_rng(5)
+        )
+        b = monte_carlo_spread(
+            two_cliques, [0], Dynamics.IC, r=100, rng=np.random.default_rng(5)
+        )
+        assert a.mean == b.mean
+
+    def test_wc_easier_to_influence_low_degree(self, rng):
+        # Under WC a node with a single in-neighbour is influenced w.p. 1.
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        wg = WC.weighted(g)
+        est = monte_carlo_spread(wg, [0], WC, r=50, rng=rng)
+        assert est.mean == 3.0

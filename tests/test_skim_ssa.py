@@ -1,0 +1,127 @@
+"""Tests for the extension techniques: SKIM and SSA/D-SSA."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.skim import SKIM, _reverse_adjacency
+from repro.algorithms.ssa import DSSA, SSA
+from repro.diffusion.models import IC, LT, WC
+from repro.diffusion.simulation import monte_carlo_spread
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def hub_graph():
+    edges = [(0, i) for i in range(1, 10)] + [(10, 11)]
+    return DiGraph.from_edges(12, edges, weights=[0.9] * 10)
+
+
+class TestReverseAdjacency:
+    def test_matches_in_neighbors(self):
+        g = DiGraph.from_edges(4, [(0, 2), (1, 2), (2, 3)])
+        adj = _reverse_adjacency(g, np.ones(3, dtype=bool))
+        assert sorted(adj[2].tolist()) == [0, 1]
+        assert adj[3].tolist() == [2]
+        assert adj[0].tolist() == []
+
+    def test_respects_live_mask(self):
+        g = DiGraph.from_edges(3, [(0, 2), (1, 2)])
+        # Only one of the two arcs is live.
+        live = np.array([True, False])
+        adj = _reverse_adjacency(g, live)
+        assert len(adj[2]) == 1
+
+
+class TestSKIM:
+    def test_finds_hub(self, hub_graph, rng):
+        res = SKIM(num_instances=16, sketch_k=8).select(hub_graph, 1, IC, rng=rng)
+        assert res.seeds == [0]
+
+    def test_second_seed_diversifies(self, hub_graph, rng):
+        res = SKIM(num_instances=16, sketch_k=8).select(hub_graph, 2, IC, rng=rng)
+        assert res.seeds[0] == 0
+        assert res.seeds[1] == 10
+
+    def test_supports_lt(self, two_cliques, rng):
+        res = SKIM(num_instances=8, sketch_k=4).select(two_cliques, 2, LT, rng=rng)
+        assert len(set(res.seeds)) == 2
+
+    def test_estimated_spread_reported(self, hub_graph, rng):
+        res = SKIM(num_instances=32, sketch_k=8).select(hub_graph, 1, IC, rng=rng)
+        # sigma({0}) = 1 + 9 * 0.9 = 9.1
+        assert res.extras["estimated_spread"] == pytest.approx(9.1, abs=1.0)
+
+    def test_edgeless_graph(self, rng):
+        g = IC.weighted(DiGraph.from_edges(5, []))
+        res = SKIM(num_instances=4, sketch_k=4).select(g, 3, IC, rng=rng)
+        assert len(set(res.seeds)) == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SKIM(num_instances=0)
+        with pytest.raises(ValueError):
+            SKIM(sketch_k=0)
+
+
+class TestSSA:
+    def test_finds_hub(self, hub_graph, rng):
+        res = SSA(epsilon=0.5, rr_scale=0.05).select(hub_graph, 1, IC, rng=rng)
+        assert res.seeds == [0]
+
+    def test_stare_iterations_reported(self, hub_graph, rng):
+        res = SSA(epsilon=0.5, rr_scale=0.05).select(hub_graph, 2, IC, rng=rng)
+        assert res.extras["stare_iterations"] >= 1
+        assert res.extras["num_rr_sets"] > 0
+
+    def test_verification_uses_fresh_pools(self, hub_graph, rng):
+        # Total sampled must be at least twice one selection pool.
+        res = SSA(epsilon=0.5, rr_scale=0.05).select(hub_graph, 2, IC, rng=rng)
+        assert res.extras["num_rr_sets"] >= 16  # two pools of >= 8
+
+    def test_quality_comparable_to_imm(self, rng):
+        from repro.algorithms.imm import IMM
+
+        trial = np.random.default_rng(3)
+        g = WC.weighted(DiGraph.from_arrays(
+            60, trial.integers(0, 60, 240), trial.integers(0, 60, 240)
+        ))
+        ssa = SSA(epsilon=0.3, rr_scale=0.1).select(g, 5, WC, rng=rng)
+        imm = IMM(epsilon=0.3, rr_scale=0.1).select(g, 5, WC, rng=rng)
+        s1 = monte_carlo_spread(g, ssa.seeds, WC, r=2000, rng=rng).mean
+        s2 = monte_carlo_spread(g, imm.seeds, WC, r=2000, rng=rng).mean
+        assert s1 >= 0.85 * s2
+
+    def test_k_zero(self, hub_graph, rng):
+        assert SSA(rr_scale=0.05).select(hub_graph, 0, IC, rng=rng).seeds == []
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            SSA(epsilon=0.0)
+
+
+class TestDSSA:
+    def test_finds_hub(self, hub_graph, rng):
+        res = DSSA(epsilon=0.5, rr_scale=0.05).select(hub_graph, 1, IC, rng=rng)
+        assert res.seeds == [0]
+
+    def test_recycles_verification_pool(self, hub_graph):
+        # With an absurdly strict acceptance bound D-SSA must iterate, and
+        # its total sampling stays below independent-pool SSA's for the
+        # same schedule (pool reuse).
+        ssa = SSA(epsilon=0.5, rr_scale=0.05)
+        dssa = DSSA(epsilon=0.5, rr_scale=0.05)
+        r1 = ssa.select(hub_graph, 2, IC, rng=np.random.default_rng(1))
+        r2 = dssa.select(hub_graph, 2, IC, rng=np.random.default_rng(1))
+        assert r2.extras["num_rr_sets"] <= 2 * r1.extras["num_rr_sets"]
+
+    def test_supports_lt(self, two_cliques, rng):
+        res = DSSA(epsilon=0.5, rr_scale=0.05).select(two_cliques, 2, LT, rng=rng)
+        assert len(set(res.seeds)) == 2
+
+    def test_registry_names(self):
+        from repro.algorithms import registry
+
+        assert registry.make("SSA").name == "SSA"
+        assert registry.make("D-SSA").name == "D-SSA"
+        assert registry.make("SKIM").name == "SKIM"
+        assert registry.make("PMIA").name == "PMIA"

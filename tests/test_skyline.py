@@ -1,0 +1,84 @@
+"""Tests for the skyline analysis and decision tree (Fig. 11)."""
+
+import pytest
+
+from repro.framework.skyline import PillarScores, classify_pillars, recommend, skyline
+
+
+def score(name, q, t, m):
+    return PillarScores(name=name, quality=q, time_seconds=t, memory_mb=m)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        a = score("a", 100, 1.0, 10)
+        b = score("b", 90, 2.0, 20)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_incomparable(self):
+        fast = score("fast", 80, 0.1, 50)
+        lean = score("lean", 80, 5.0, 1)
+        assert not fast.dominates(lean)
+        assert not lean.dominates(fast)
+
+    def test_equal_points_do_not_dominate(self):
+        a = score("a", 50, 1.0, 5)
+        b = score("b", 50, 1.0, 5)
+        assert not a.dominates(b)
+
+
+class TestSkyline:
+    def test_dominated_removed(self):
+        pts = [score("good", 100, 1, 1), score("bad", 50, 2, 2)]
+        sky = skyline(pts)
+        assert [s.name for s in sky] == ["good"]
+
+    def test_incomparable_all_kept(self):
+        pts = [
+            score("quality", 100, 10, 100),
+            score("speed", 50, 0.1, 100),
+            score("memory", 50, 10, 1),
+        ]
+        assert len(skyline(pts)) == 3
+
+    def test_empty(self):
+        assert skyline([]) == []
+
+
+class TestClassification:
+    def test_no_triple_pillar_when_tradeoffs_exist(self):
+        # The paper's conclusion: nobody stands on all three pillars.
+        pts = [
+            score("TIM/IMM", 100, 0.5, 500),     # Q + E
+            score("CELF", 100, 500.0, 5),        # Q + M
+            score("EaSyIM", 80, 1.0, 5),         # E + M
+        ]
+        pillars = classify_pillars(pts)
+        assert pillars["TIM/IMM"] == {"Q", "E"}
+        assert pillars["CELF"] == {"Q", "M"}
+        assert pillars["EaSyIM"] == {"E", "M"}
+        assert all(len(p) < 3 for p in pillars.values())
+
+    def test_empty_input(self):
+        assert classify_pillars([]) == {}
+
+
+class TestDecisionTree:
+    """Fig. 11b verbatim."""
+
+    def test_ample_memory_branch(self):
+        assert recommend("LT") == "TIM+"
+        assert recommend("WC") == "IMM"
+        assert recommend("IC") == "PMC"
+
+    def test_memory_scarce_branch(self):
+        for model in ("IC", "WC", "LT"):
+            assert recommend(model, memory_constrained=True) == "EaSyIM"
+
+    def test_case_insensitive(self):
+        assert recommend("wc") == "IMM"
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            recommend("SIR")

@@ -1,0 +1,112 @@
+"""Tests for the snapshot family: StaticGreedy and PMC."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pmc import PMC, contract_snapshot
+from repro.algorithms.static_greedy import StaticGreedy, snapshot_adjacency
+from repro.diffusion.models import IC, LT
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def hub_graph():
+    edges = [(0, i) for i in range(1, 8)] + [(8, 9)]
+    return DiGraph.from_edges(10, edges, weights=[0.9] * 7 + [0.9])
+
+
+class TestSnapshotAdjacency:
+    def test_respects_live_mask(self):
+        g = DiGraph.from_edges(3, [(0, 1), (0, 2)])
+        adj = snapshot_adjacency(g, np.array([True, False]))
+        assert len(adj) == 3
+        assert adj[0].tolist() in ([1], [2])
+        live_targets = adj[0].tolist()
+        assert len(live_targets) == 1
+
+    def test_all_live(self):
+        g = DiGraph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        adj = snapshot_adjacency(g, np.ones(3, dtype=bool))
+        assert sorted(adj[0].tolist()) == [1, 2]
+        assert adj[1].tolist() == [2]
+        assert adj[2].tolist() == []
+
+
+class TestStaticGreedy:
+    def test_finds_hub(self, hub_graph, rng):
+        res = StaticGreedy(num_snapshots=60).select(hub_graph, 1, IC, rng=rng)
+        assert res.seeds == [0]
+
+    def test_second_seed_from_other_component(self, hub_graph, rng):
+        res = StaticGreedy(num_snapshots=60).select(hub_graph, 2, IC, rng=rng)
+        assert res.seeds[0] == 0
+        assert res.seeds[1] == 8
+
+    def test_rejects_lt(self, hub_graph, rng):
+        with pytest.raises(ValueError):
+            StaticGreedy(num_snapshots=10).select(hub_graph, 1, LT, rng=rng)
+
+    def test_estimated_spread_close_to_truth(self, hub_graph, rng):
+        res = StaticGreedy(num_snapshots=200).select(hub_graph, 1, IC, rng=rng)
+        # sigma({0}) = 1 + 7 * 0.9 = 7.3
+        assert res.extras["estimated_spread"] == pytest.approx(7.3, abs=0.5)
+
+    def test_invalid_snapshots(self):
+        with pytest.raises(ValueError):
+            StaticGreedy(num_snapshots=0)
+
+
+class TestContractSnapshot:
+    def test_cycle_contracts(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3)])
+        comp, sizes, dag_adj = contract_snapshot(g, np.ones(4, dtype=bool))
+        assert comp[0] == comp[1]
+        assert sizes[comp[0]] == 2
+        # DAG edge from {0,1} component to 2's component.
+        assert comp[2] in dag_adj[comp[0]].tolist()
+
+    def test_dead_edges_removed(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        __, __s, dag_adj = contract_snapshot(g, np.zeros(1, dtype=bool))
+        assert all(a.size == 0 for a in dag_adj)
+
+    def test_sizes_sum_to_n(self, hub_graph):
+        __, sizes, __a = contract_snapshot(
+            hub_graph, np.ones(hub_graph.m, dtype=bool)
+        )
+        assert sizes.sum() == hub_graph.n
+
+
+class TestPMC:
+    def test_finds_hub(self, hub_graph, rng):
+        res = PMC(num_snapshots=60).select(hub_graph, 1, IC, rng=rng)
+        assert res.seeds == [0]
+
+    def test_matches_static_greedy_seeds(self, hub_graph):
+        sg = StaticGreedy(num_snapshots=100).select(
+            hub_graph, 2, IC, rng=np.random.default_rng(4)
+        )
+        pmc = PMC(num_snapshots=100).select(
+            hub_graph, 2, IC, rng=np.random.default_rng(4)
+        )
+        assert set(sg.seeds) == set(pmc.seeds)
+
+    def test_giant_scc_handled(self, rng):
+        # A dense cycle where every snapshot keeps most edges: the whole
+        # graph contracts to nearly one component.
+        edges = [(i, (i + 1) % 20) for i in range(20)]
+        g = DiGraph.from_edges(20, edges, weights=[0.95] * 20)
+        res = PMC(num_snapshots=30).select(g, 2, IC, rng=rng)
+        assert len(res.seeds) == 2
+
+    def test_rejects_lt(self, hub_graph, rng):
+        with pytest.raises(ValueError):
+            PMC(num_snapshots=10).select(hub_graph, 1, LT, rng=rng)
+
+    def test_estimated_spread_close_to_truth(self, hub_graph, rng):
+        res = PMC(num_snapshots=200).select(hub_graph, 1, IC, rng=rng)
+        assert res.extras["estimated_spread"] == pytest.approx(7.3, abs=0.5)
+
+    def test_invalid_snapshots(self):
+        with pytest.raises(ValueError):
+            PMC(num_snapshots=-1)

@@ -1,0 +1,126 @@
+"""Tests for live-edge snapshots, reachability and SCC contraction."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import Dynamics
+from repro.diffusion.simulation import monte_carlo_spread
+from repro.diffusion.snapshots import (
+    Snapshot,
+    generate_ic_snapshot,
+    generate_lt_snapshot,
+    strongly_connected_components,
+)
+from repro.graph.digraph import DiGraph
+
+
+class TestICSnapshot:
+    def test_live_fraction_tracks_weights(self, rng):
+        g = DiGraph.from_edges(
+            2, [(0, 1)], weights=[0.25]
+        )
+        live = sum(
+            generate_ic_snapshot(g, rng).num_live_edges for __ in range(4000)
+        )
+        assert live / 4000 == pytest.approx(0.25, abs=0.03)
+
+    def test_unit_weights_all_live(self, rng):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[1.0, 1.0])
+        snap = generate_ic_snapshot(g, rng)
+        assert snap.num_live_edges == 2
+
+    def test_reachability_equals_cascade_distribution(self, diamond_graph, rng):
+        # Averaged snapshot reach == MC cascade spread (the coin-flip
+        # equivalence StaticGreedy/PMC rely on).
+        r = 20000
+        reach = np.mean(
+            [generate_ic_snapshot(diamond_graph, rng).reach_count([0]) for __ in range(r)]
+        )
+        est = monte_carlo_spread(diamond_graph, [0], Dynamics.IC, r=r, rng=rng)
+        assert reach == pytest.approx(est.mean, abs=0.06)
+
+    def test_reach_empty_sources(self, diamond_graph, rng):
+        snap = generate_ic_snapshot(diamond_graph, rng)
+        assert snap.reach_count([]) == 0
+
+
+class TestLTSnapshot:
+    def test_at_most_one_in_edge_live(self, rng):
+        g = DiGraph.from_edges(4, [(0, 3), (1, 3), (2, 3)], weights=[0.3, 0.3, 0.3])
+        for __ in range(50):
+            snap = generate_lt_snapshot(g, rng)
+            assert snap.num_live_edges <= 1
+
+    def test_choice_probability_matches_weight(self, rng):
+        g = DiGraph.from_edges(3, [(0, 2), (1, 2)], weights=[0.6, 0.3])
+        counts = {"(0,2)": 0, "(1,2)": 0, "none": 0}
+        trials = 6000
+        for __ in range(trials):
+            snap = generate_lt_snapshot(g, rng)
+            if snap.num_live_edges == 0:
+                counts["none"] += 1
+            elif snap.reachable_from([0])[2]:
+                counts["(0,2)"] += 1
+            else:
+                counts["(1,2)"] += 1
+        assert counts["(0,2)"] / trials == pytest.approx(0.6, abs=0.03)
+        assert counts["(1,2)"] / trials == pytest.approx(0.3, abs=0.03)
+        assert counts["none"] / trials == pytest.approx(0.1, abs=0.03)
+
+    def test_live_edge_spread_equals_lt_cascade(self, diamond_graph, rng):
+        # Kempe et al.'s theorem: LT cascade distribution == reach in the
+        # one-in-edge random worlds.
+        r = 20000
+        reach = np.mean(
+            [generate_lt_snapshot(diamond_graph, rng).reach_count([0]) for __ in range(r)]
+        )
+        est = monte_carlo_spread(diamond_graph, [0], Dynamics.LT, r=r, rng=rng)
+        assert reach == pytest.approx(est.mean, abs=0.06)
+
+
+class TestSCC:
+    def _snapshot_all_live(self, g):
+        return Snapshot(g, np.ones(g.m, dtype=bool))
+
+    def test_cycle_is_one_component(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        comp = strongly_connected_components(self._snapshot_all_live(g))
+        assert len(set(comp.tolist())) == 1
+
+    def test_dag_all_singletons(self, diamond_graph):
+        comp = strongly_connected_components(self._snapshot_all_live(diamond_graph))
+        assert len(set(comp.tolist())) == 4
+
+    def test_two_cycles_with_bridge(self):
+        g = DiGraph.from_edges(
+            6, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2), (4, 5)]
+        )
+        comp = strongly_connected_components(self._snapshot_all_live(g))
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+        assert comp[4] != comp[5]
+
+    def test_dead_edges_split_components(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        live = np.array([True, False])
+        comp = strongly_connected_components(Snapshot(g, live))
+        assert comp[0] != comp[1]
+
+    def test_matches_networkx(self, rng):
+        networkx = pytest.importorskip("networkx")
+        for trial in range(5):
+            trial_rng = np.random.default_rng(trial)
+            n = 30
+            src = trial_rng.integers(0, n, size=90)
+            dst = trial_rng.integers(0, n, size=90)
+            g = DiGraph.from_arrays(n, src, dst)
+            comp = strongly_connected_components(self._snapshot_all_live(g))
+            nx_graph = networkx.DiGraph()
+            nx_graph.add_nodes_from(range(n))
+            nx_graph.add_edges_from(zip(g.edge_src.tolist(), g.edge_dst.tolist()))
+            nx_comps = list(networkx.strongly_connected_components(nx_graph))
+            assert len(set(comp.tolist())) == len(nx_comps)
+            for group in nx_comps:
+                ids = {int(comp[v]) for v in group}
+                assert len(ids) == 1

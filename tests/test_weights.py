@@ -1,0 +1,114 @@
+"""Unit tests for the Sec. 2.1 edge-weight schemes."""
+
+import numpy as np
+import pytest
+
+from repro.graph import weights
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def triangle():
+    return DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0), (0, 2)])
+
+
+class TestConstant:
+    def test_all_edges_get_p(self, triangle):
+        g = weights.constant(triangle, 0.07)
+        assert np.allclose(g.out_w, 0.07)
+
+    def test_default_not_applied_here(self, triangle):
+        g = weights.constant(triangle, 0.1)
+        assert g.weight(0, 1) == 0.1
+
+    def test_invalid_p_raises(self, triangle):
+        with pytest.raises(ValueError):
+            weights.constant(triangle, 1.5)
+        with pytest.raises(ValueError):
+            weights.constant(triangle, -0.1)
+
+
+class TestWeightedCascade:
+    def test_weight_is_inverse_in_degree(self, triangle):
+        g = weights.weighted_cascade(triangle)
+        # node 2 has in-edges from 1 and 0 -> 1/2 each
+        assert g.weight(1, 2) == pytest.approx(0.5)
+        assert g.weight(0, 2) == pytest.approx(0.5)
+        # node 1 has a single in-edge -> weight 1
+        assert g.weight(0, 1) == pytest.approx(1.0)
+
+    def test_incoming_sums_are_one(self, triangle):
+        g = weights.weighted_cascade(triangle)
+        sums = weights.incoming_weight_sums(g)
+        for v in range(3):
+            if g.in_degree(v) > 0:
+                assert sums[v] == pytest.approx(1.0)
+
+    def test_high_degree_nodes_harder_to_influence(self):
+        g = DiGraph.from_edges(5, [(0, 4), (1, 4), (2, 4), (3, 4), (0, 1)])
+        g = weights.weighted_cascade(g)
+        assert g.weight(0, 4) == pytest.approx(0.25)
+        assert g.weight(0, 1) == pytest.approx(1.0)
+
+
+class TestTrivalency:
+    def test_values_from_set(self, triangle, rng):
+        g = weights.trivalency(triangle, rng=rng)
+        assert set(np.round(g.out_w, 6)) <= {0.001, 0.01, 0.1}
+
+    def test_custom_values(self, triangle, rng):
+        g = weights.trivalency(triangle, values=(0.5,), rng=rng)
+        assert np.allclose(g.out_w, 0.5)
+
+    def test_empty_values_raise(self, triangle, rng):
+        with pytest.raises(ValueError):
+            weights.trivalency(triangle, values=(), rng=rng)
+
+    def test_invalid_values_raise(self, triangle, rng):
+        with pytest.raises(ValueError):
+            weights.trivalency(triangle, values=(2.0,), rng=rng)
+
+    def test_deterministic_under_seed(self, triangle):
+        g1 = weights.trivalency(triangle, rng=np.random.default_rng(9))
+        g2 = weights.trivalency(triangle, rng=np.random.default_rng(9))
+        assert np.array_equal(g1.out_w, g2.out_w)
+
+
+class TestLTUniform:
+    def test_same_formula_as_wc(self, triangle):
+        wc = weights.weighted_cascade(triangle)
+        lt = weights.lt_uniform(triangle)
+        assert np.allclose(wc.out_w, lt.out_w)
+
+
+class TestLTRandom:
+    def test_incoming_sums_normalized(self, rng):
+        g = DiGraph.from_edges(
+            6, [(0, 3), (1, 3), (2, 3), (0, 4), (1, 4), (5, 0)]
+        )
+        g = weights.lt_random(g, rng=rng)
+        sums = weights.incoming_weight_sums(g)
+        for v in range(6):
+            if g.in_degree(v) > 0:
+                assert sums[v] == pytest.approx(1.0)
+
+    def test_weights_positive(self, triangle, rng):
+        g = weights.lt_random(triangle, rng=rng)
+        assert (g.out_w > 0).all()
+
+    def test_different_seeds_differ(self, triangle):
+        g1 = weights.lt_random(triangle, rng=np.random.default_rng(1))
+        g2 = weights.lt_random(triangle, rng=np.random.default_rng(2))
+        assert not np.allclose(g1.out_w, g2.out_w)
+
+
+class TestIncomingSums:
+    def test_empty_graph(self):
+        g = DiGraph.from_edges(3, [])
+        assert weights.incoming_weight_sums(g).tolist() == [0.0, 0.0, 0.0]
+
+    def test_matches_manual_sum(self):
+        g = DiGraph.from_edges(3, [(0, 2), (1, 2)], weights=[0.3, 0.4])
+        sums = weights.incoming_weight_sums(g)
+        assert sums[2] == pytest.approx(0.7)
+        assert sums[0] == 0.0
