@@ -20,6 +20,7 @@ Scaling knobs used throughout (documented here once):
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import numpy as np
@@ -27,6 +28,13 @@ import numpy as np
 from repro.datasets import load
 from repro.diffusion import monte_carlo_spread
 from repro.diffusion.models import IC, LT, WC, PropagationModel
+from repro.framework import (
+    CheckpointJournal,
+    IsolationConfig,
+    RetryPolicy,
+    cell_key,
+    execute_cell,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -34,6 +42,17 @@ MC_EVAL = 150
 RR_SCALE = 0.01
 TIME_LIMIT = 15.0
 MEMORY_LIMIT_MB = 300.0
+
+# Hardened-execution knobs, env-switchable so a long sweep can be run
+# process-isolated and resumed after a kill without editing any bench:
+#   REPRO_BENCH_ISOLATE=1  subprocess isolation + preemptive budgets
+#   REPRO_BENCH_RETRIES=n  attempts for transient FAILED/KILLED cells
+#   REPRO_BENCH_RESUME=1   journal cells under results/journals/ and skip
+#                          already-completed ones on rerun
+BENCH_ISOLATE = os.environ.get("REPRO_BENCH_ISOLATE", "") == "1"
+BENCH_RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "1") or "1")
+BENCH_RESUME = os.environ.get("REPRO_BENCH_RESUME", "") == "1"
+JOURNAL_DIR = RESULTS_DIR / "journals"
 
 #: Per-algorithm constructor parameters scaled for pure Python.  epsilon /
 #: snapshot counts follow Table 2; only the implementation-scale knobs
@@ -80,6 +99,59 @@ def evaluate_spread(graph, seeds, model, r: int = MC_EVAL, seed: int = 99):
     return monte_carlo_spread(
         graph, seeds, model, r=r, rng=np.random.default_rng(seed)
     )
+
+
+def bench_journal(name: str) -> CheckpointJournal | None:
+    """Checkpoint journal for one bench, or None when resume is off."""
+    if not BENCH_RESUME:
+        return None
+    JOURNAL_DIR.mkdir(parents=True, exist_ok=True)
+    return CheckpointJournal(JOURNAL_DIR / f"{name}.jsonl")
+
+
+def run_cell(
+    algo,
+    graph,
+    k: int,
+    model: PropagationModel,
+    *,
+    seed: int = 1,
+    time_limit: float | None = TIME_LIMIT,
+    memory_limit_mb: float | None = None,
+    journal: CheckpointJournal | None = None,
+    scope: str | None = None,
+    params: dict | None = None,
+    score=None,
+):
+    """One sweep cell under the hardened executor.
+
+    Honours the env knobs above: isolation, bounded retry-with-reseed, and
+    journal skip/append when ``journal`` is given (``params``/``scope``
+    identify the cell across reruns).  ``score`` is called on an OK record
+    before journaling so resumed cells carry their spread estimate.
+    """
+    key = cell_key(algo.name, params or {}, k, model=model.name, scope=scope)
+    if journal is not None and key in journal:
+        return journal.get(key)
+    record, __ = execute_cell(
+        algo,
+        graph,
+        k,
+        model,
+        rng=np.random.default_rng(seed),
+        config=IsolationConfig(
+            enabled=BENCH_ISOLATE,
+            time_limit_seconds=time_limit,
+            memory_limit_mb=memory_limit_mb,
+            track_memory=memory_limit_mb is not None,
+        ),
+        retry=RetryPolicy(max_attempts=max(1, BENCH_RETRIES)),
+    )
+    if score is not None and record.ok:
+        score(record)
+    if journal is not None:
+        journal.record(key, record)
+    return record
 
 
 def emit(name: str, text: str) -> None:

@@ -8,13 +8,18 @@ stand in for the paper's 40-hour / 256 GB walls and produce the same DNF /
 Crashed vocabulary.
 """
 
-import numpy as np
-
 from repro.algorithms import registry
 from repro.diffusion.models import IC, LT, WC
-from repro.framework.metrics import run_with_budget
 
-from _common import emit, evaluate_spread, once, scaled_params, weighted_dataset
+from _common import (
+    bench_journal,
+    emit,
+    evaluate_spread,
+    once,
+    run_cell,
+    scaled_params,
+    weighted_dataset,
+)
 
 K = 200
 DATASETS = ("livejournal", "orkut", "twitter", "friendster")
@@ -31,37 +36,42 @@ MEMORY_LIMIT = 200.0
 PMC_SNAPSHOTS = 10
 
 
-def _cell(name, dataset, model):
+def _cell(name, dataset, model, journal=None):
     graph = weighted_dataset(dataset, model)
     params = scaled_params(name, model)
     params.pop("mc_simulations", None)
     if name == "PMC":
         params["num_snapshots"] = PMC_SNAPSHOTS
     algo = registry.make(name, **params)
-    record, __ = run_with_budget(
+
+    def score(record):
+        est = evaluate_spread(graph, record.seeds, model, r=100)
+        record.spread = est.mean
+
+    return run_cell(
         algo,
         graph,
         K,
         model,
-        rng=np.random.default_rng(1),
-        time_limit_seconds=TIME_LIMIT,
+        time_limit=TIME_LIMIT,
         memory_limit_mb=MEMORY_LIMIT,
-        track_memory=True,
+        journal=journal,
+        scope=dataset,
+        params=params,
+        score=score,
     )
-    if record.ok:
-        est = evaluate_spread(graph, record.seeds, model, r=100)
-        record.spread = est.mean
-    return record
 
 
 def test_table3_large_datasets(benchmark):
+    journal = bench_journal("table3_large_datasets")
+
     def experiment():
         cells = {}
         for dataset in DATASETS:
             for model in (IC, WC, LT):
                 for name in ROSTER[model.name]:
                     cells[(dataset, model.name, name)] = _cell(
-                        name, dataset, model
+                        name, dataset, model, journal=journal
                     )
         return cells
 

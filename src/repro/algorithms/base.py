@@ -43,6 +43,22 @@ class Budget(Protocol):
     def check(self) -> None: ...  # pragma: no cover - protocol
 
 
+def _plain(value):
+    """Coerce numpy scalars/arrays to plain Python for pipe/JSON transport."""
+    if hasattr(value, "item") and not isinstance(value, (list, dict, str)):
+        try:
+            return value.item()
+        except (AttributeError, ValueError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
 @dataclass
 class SeedSelectionResult:
     """Outcome of one seed-selection run."""
@@ -59,6 +75,26 @@ class SeedSelectionResult:
     @property
     def k(self) -> int:
         return len(self.seeds)
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-types dict safe to ship across a process pipe or as JSON.
+
+        The isolated executor uses this to return results from a worker
+        subprocess without pickling algorithm-specific objects hiding in
+        ``extras``.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "model": self.model,
+            "seeds": [int(s) for s in self.seeds],
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "extras": _plain(self.extras),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "SeedSelectionResult":
+        """Inverse of :meth:`to_payload`."""
+        return cls(**payload)
 
 
 class IMAlgorithm(abc.ABC):

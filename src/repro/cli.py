@@ -26,7 +26,16 @@ import sys
 import numpy as np
 
 from . import algorithms, datasets, diffusion
-from .framework import recommend, render_report, run_with_budget, tune_parameter
+from .framework import (
+    CheckpointJournal,
+    IsolationConfig,
+    RetryPolicy,
+    cell_key,
+    execute_cell,
+    recommend,
+    render_report,
+    tune_parameter,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -74,6 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--seed", type=int, default=0, help="RNG seed")
     sel.add_argument("--time-limit", type=float, default=None)
     sel.add_argument("--memory-limit-mb", type=float, default=None)
+    sel.add_argument("--isolate", action="store_true",
+                     help="run selection in a killable subprocess: the time "
+                          "limit becomes a preemptive deadline (DNF) and the "
+                          "memory limit an rlimit ceiling (CRASHED)")
+    sel.add_argument("--retries", type=int, default=1, metavar="N",
+                     help="attempts for transient FAILED/KILLED cells, each "
+                          "on a derived RNG (default 1 = no retry)")
+    sel.add_argument("--resume", default=None, metavar="JOURNAL",
+                     help="JSONL checkpoint journal; a cell already recorded "
+                          "there is not re-run")
 
     tune = sub.add_parser("tune", help="Sec.-5.1.1 parameter tuning")
     tune.add_argument("--dataset", required=True)
@@ -113,19 +132,37 @@ def _cmd_recommend(args) -> int:
 def _cmd_select(args) -> int:
     model = diffusion.model_by_name(args.model)
     graph = model.weighted(datasets.load(args.dataset), np.random.default_rng(0))
-    algo = algorithms.make(args.algorithm, **_parse_params(args.param))
-    record, __ = run_with_budget(
-        algo,
-        graph,
-        args.k,
-        model,
-        rng=np.random.default_rng(args.seed),
-        time_limit_seconds=args.time_limit,
-        memory_limit_mb=args.memory_limit_mb,
-        track_memory=args.memory_limit_mb is not None,
-    )
+    params = _parse_params(args.param)
+    algo = algorithms.make(args.algorithm, **params)
+    journal = CheckpointJournal(args.resume) if args.resume else None
+    key = cell_key(args.algorithm, params, args.k,
+                   model=args.model, scope=args.dataset)
+    if journal is not None and key in journal:
+        record = journal.get(key)
+        print(f"resumed   : cached {record.status} cell from {args.resume}")
+    else:
+        record, __ = execute_cell(
+            algo,
+            graph,
+            args.k,
+            model,
+            rng=np.random.default_rng(args.seed),
+            config=IsolationConfig(
+                enabled=args.isolate,
+                time_limit_seconds=args.time_limit,
+                memory_limit_mb=args.memory_limit_mb,
+                track_memory=args.memory_limit_mb is not None,
+            ),
+            retry=RetryPolicy(max_attempts=max(1, args.retries)),
+        )
+        if journal is not None:
+            journal.record(key, record)
     if not record.ok:
-        print(f"{args.algorithm} on {args.dataset}/{args.model}: {record.status}")
+        line = f"{args.algorithm} on {args.dataset}/{args.model}: {record.status}"
+        failure = record.extras.get("failure")
+        if isinstance(failure, dict) and failure.get("type"):
+            line += f" ({failure['type']})"
+        print(line)
         return 1
     estimate = diffusion.monte_carlo_spread(
         graph, record.seeds, model, r=args.mc,

@@ -9,9 +9,22 @@ from .experiments import (
     pillar_scores,
     quality_sweep,
 )
+from .isolation import (
+    FaultInjector,
+    IsolatedExecutor,
+    IsolationConfig,
+    RetryPolicy,
+    derive_rng,
+    execute_cell,
+    isolation_supported,
+)
 from .metrics import (
+    BUDGET_STATUSES,
+    FAILURE_STATUSES,
     STATUS_CRASHED,
     STATUS_DNF,
+    STATUS_FAILED,
+    STATUS_KILLED,
     STATUS_OK,
     Measurement,
     ResourceBudget,
@@ -20,7 +33,15 @@ from .metrics import (
     run_with_budget,
 )
 from .report import EXPERIMENT_ORDER, collect_results, render_report
-from .results import load_records, render_series, render_table, save_records
+from .results import (
+    CheckpointJournal,
+    append_record,
+    cell_key,
+    load_records,
+    render_series,
+    render_table,
+    save_records,
+)
 from .runner import FrameworkTrace, IMFramework
 from .skyline import PillarScores, classify_pillars, recommend, skyline
 from .tuning import SweepPoint, TuningResult, tune_parameter
@@ -37,15 +58,29 @@ __all__ = [
     "mc_convergence_study",
     "STATUS_CRASHED",
     "STATUS_DNF",
+    "STATUS_FAILED",
+    "STATUS_KILLED",
     "STATUS_OK",
+    "BUDGET_STATUSES",
+    "FAILURE_STATUSES",
     "Measurement",
     "ResourceBudget",
     "RunRecord",
     "measure",
     "run_with_budget",
+    "FaultInjector",
+    "IsolatedExecutor",
+    "IsolationConfig",
+    "RetryPolicy",
+    "derive_rng",
+    "execute_cell",
+    "isolation_supported",
     "EXPERIMENT_ORDER",
     "collect_results",
     "render_report",
+    "CheckpointJournal",
+    "append_record",
+    "cell_key",
     "load_records",
     "render_series",
     "render_table",

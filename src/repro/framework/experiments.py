@@ -24,7 +24,9 @@ from ..algorithms import registry
 from ..diffusion.models import PropagationModel
 from ..diffusion.simulation import monte_carlo_spread
 from ..graph.digraph import DiGraph
-from .metrics import RunRecord, run_with_budget
+from .isolation import IsolationConfig, RetryPolicy, execute_cell
+from .metrics import BUDGET_STATUSES, RunRecord, run_with_budget
+from .results import CheckpointJournal, cell_key
 from .skyline import PillarScores
 
 __all__ = [
@@ -46,8 +48,25 @@ class SweepConfig:
     memory_limit_mb: float | None = None
     seed: int = 0
     #: Skip larger k once a technique violates its budget (cost grows
-    #: with k) — the paper's own concession for CELF/SIMPATH.
+    #: with k) — the paper's own concession for CELF/SIMPATH.  Only the
+    #: deterministic budget verdicts (DNF/Crashed) propagate; transient
+    #: FAILED/KILLED cells do not poison larger k.
     propagate_failures: bool = True
+    #: Run each selection in a killable subprocess with preemptive budgets.
+    isolate: bool = False
+    #: Attempts per cell for transient FAILED/KILLED statuses.
+    retries: int = 1
+
+    def execution(self) -> tuple[IsolationConfig, RetryPolicy]:
+        return (
+            IsolationConfig(
+                enabled=self.isolate,
+                time_limit_seconds=self.time_limit_seconds,
+                memory_limit_mb=self.memory_limit_mb,
+                track_memory=self.memory_limit_mb is not None,
+            ),
+            RetryPolicy(max_attempts=max(1, self.retries)),
+        )
 
 
 def _score(graph, record: RunRecord, model, config: SweepConfig) -> None:
@@ -65,31 +84,42 @@ def quality_sweep(
     model: PropagationModel,
     roster: Mapping[str, Mapping[str, Any]],
     config: SweepConfig = SweepConfig(),
+    journal: CheckpointJournal | None = None,
+    scope: str | None = None,
 ) -> dict[tuple[str, int], RunRecord]:
     """Roster x k-grid sweep: selection under budget + decoupled scoring.
 
     ``roster`` maps algorithm name -> constructor parameters.  Returns one
     :class:`RunRecord` per (name, k); spread/std populated for runs that
-    finished.
+    finished.  With a ``journal``, completed cells (scored, so resume needs
+    no re-simulation) are appended as they finish and a rerun of a killed
+    sweep executes only the missing ones; ``scope`` (e.g. the dataset
+    name) disambiguates cells when one journal spans several sweeps.
     """
+    isolation, retry = config.execution()
     results: dict[tuple[str, int], RunRecord] = {}
     for name, params in roster.items():
         last_status = "OK"
         for k in config.k_grid:
-            if config.propagate_failures and last_status != "OK":
+            if config.propagate_failures and last_status in BUDGET_STATUSES:
                 results[(name, k)] = RunRecord(name, model.name, k, last_status)
                 continue
-            record, __ = run_with_budget(
-                registry.make(name, **dict(params)),
-                graph,
-                k,
-                model,
-                rng=np.random.default_rng(config.seed + k),
-                time_limit_seconds=config.time_limit_seconds,
-                memory_limit_mb=config.memory_limit_mb,
-                track_memory=config.memory_limit_mb is not None,
-            )
-            _score(graph, record, model, config)
+            key = cell_key(name, params, k, model=model.name, scope=scope)
+            if journal is not None and key in journal:
+                record = journal.get(key)
+            else:
+                record, __ = execute_cell(
+                    registry.make(name, **dict(params)),
+                    graph,
+                    k,
+                    model,
+                    rng=np.random.default_rng(config.seed + k),
+                    config=isolation,
+                    retry=retry,
+                )
+                _score(graph, record, model, config)
+                if journal is not None:
+                    journal.record(key, record)
             results[(name, k)] = record
             last_status = record.status
     return results

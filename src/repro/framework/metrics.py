@@ -15,6 +15,7 @@ benches.
 from __future__ import annotations
 
 import time
+import traceback
 import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -35,11 +36,26 @@ __all__ = [
     "STATUS_OK",
     "STATUS_DNF",
     "STATUS_CRASHED",
+    "STATUS_FAILED",
+    "STATUS_KILLED",
+    "BUDGET_STATUSES",
+    "FAILURE_STATUSES",
 ]
 
 STATUS_OK = "OK"
 STATUS_DNF = "DNF"
 STATUS_CRASHED = "CRASHED"
+#: Unexpected exception during selection; traceback in ``extras["failure"]``.
+STATUS_FAILED = "FAILED"
+#: The isolated worker died without reporting (hard kill, segfault, OOM kill).
+STATUS_KILLED = "KILLED"
+
+#: Resource verdicts — deterministic under a fixed budget, never retried,
+#: and propagated to larger k by the sweep drivers (the paper's concession
+#: for CELF/SIMPATH).
+BUDGET_STATUSES = (STATUS_DNF, STATUS_CRASHED)
+#: Possibly-transient verdicts, eligible for retry-with-reseed.
+FAILURE_STATUSES = (STATUS_FAILED, STATUS_KILLED)
 
 
 class ResourceBudget:
@@ -148,7 +164,19 @@ def run_with_budget(
     memory_limit_mb: float | None = None,
     track_memory: bool = True,
 ) -> tuple[RunRecord, SeedSelectionResult | None]:
-    """Run seed selection under a budget, mapping violations to statuses."""
+    """Run seed selection under a budget, mapping violations to statuses.
+
+    Nothing an algorithm raises escapes as an exception: budget violations
+    become ``DNF``/``CRASHED``, ``MemoryError`` becomes ``CRASHED``, and
+    any other exception becomes ``FAILED`` with the traceback captured in
+    ``extras["failure"]`` — one bad cell never aborts a sweep.
+    """
+    if memory_limit_mb is not None and not track_memory:
+        raise ValueError(
+            "memory_limit_mb requires track_memory=True: the cooperative "
+            "ceiling is enforced via tracemalloc, so with tracking off it "
+            "would silently never fire"
+        )
     rng = np.random.default_rng() if rng is None else rng
     budget = ResourceBudget(time_limit_seconds, memory_limit_mb)
     budget.start()
@@ -161,9 +189,16 @@ def run_with_budget(
         except BudgetExceeded as exc:
             status = exc.status
             detail["budget_detail"] = exc.detail
-        except MemoryError:  # pragma: no cover - genuine OOM
+        except MemoryError:
             status = STATUS_CRASHED
             detail["budget_detail"] = "MemoryError"
+        except Exception as exc:
+            status = STATUS_FAILED
+            detail["failure"] = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            }
     m = sink[0]
     record = RunRecord(
         algorithm=algorithm.name,

@@ -1,8 +1,15 @@
-"""Result records: JSON round-trip and ASCII rendering.
+"""Result records: JSON round-trip, checkpoint journals, ASCII rendering.
 
 Benchmarks accumulate :class:`~repro.framework.metrics.RunRecord` objects;
 this module persists them and renders the paper-style tables so bench
 output can be compared against the published figures line by line.
+
+It also provides the durable side of checkpoint/resume: a
+:class:`CheckpointJournal` is an append-only JSONL file holding one
+completed sweep cell per line, keyed by :func:`cell_key`.  A sweep that is
+killed mid-flight (deadline, OOM-killer, Ctrl-C) re-runs only the missing
+cells on the next invocation; a half-written trailing line from the kill
+is tolerated and simply re-executed.
 """
 
 from __future__ import annotations
@@ -10,11 +17,19 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from .metrics import RunRecord
 
-__all__ = ["save_records", "load_records", "render_table", "render_series"]
+__all__ = [
+    "save_records",
+    "load_records",
+    "render_table",
+    "render_series",
+    "cell_key",
+    "append_record",
+    "CheckpointJournal",
+]
 
 
 def _jsonable(value):
@@ -45,6 +60,94 @@ def load_records(path: str | os.PathLike) -> list[RunRecord]:
     with open(path) as handle:
         payload = json.load(handle)
     return [RunRecord(**item) for item in payload]
+
+
+def cell_key(
+    algorithm: str,
+    params: Mapping[str, Any] | None,
+    k: int,
+    model: str | None = None,
+    scope: str | None = None,
+) -> str:
+    """Stable identity of one ``(algorithm, params, k)`` sweep cell.
+
+    Keys are canonical JSON (sorted, compact) so parameter-dict ordering
+    never splits a cell.  ``model``/``scope`` (e.g. the dataset name)
+    widen the key for sweeps that mix them in one journal.
+    """
+    payload: dict[str, Any] = {
+        "algorithm": algorithm,
+        "params": _jsonable(dict(params or {})),
+        "k": int(k),
+    }
+    if model is not None:
+        payload["model"] = model
+    if scope is not None:
+        payload["scope"] = scope
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def append_record(
+    record: RunRecord, path: str | os.PathLike, key: str | None = None
+) -> None:
+    """Append one record as a JSONL line, fsynced so a kill can lose at
+    most the line being written."""
+    line = json.dumps({"key": key, "record": _jsonable(asdict(record))})
+    with open(path, "a") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed sweep cells.
+
+    ``key in journal`` / ``journal.get(key)`` answer the resume question;
+    :meth:`record` durably appends a finished cell.  Loading skips blank,
+    truncated, or otherwise unparsable lines (the expected residue of a
+    killed writer) rather than failing the whole resume.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self._cells: dict[str, RunRecord] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    item = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                payload = item.get("record") if isinstance(item, dict) else None
+                if not isinstance(payload, dict):
+                    continue
+                try:
+                    self._cells[item.get("key")] = RunRecord(**payload)
+                except TypeError:
+                    continue
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def keys(self) -> list[str]:
+        return list(self._cells)
+
+    def get(self, key: str) -> RunRecord:
+        return self._cells[key]
+
+    def record(self, key: str, run_record: RunRecord) -> None:
+        self._cells[key] = run_record
+        append_record(run_record, self.path, key=key)
 
 
 def render_table(

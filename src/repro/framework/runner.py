@@ -6,10 +6,16 @@ estimate (Sec. 5.1, "Computing expected spread"), and sweep each
 technique's external parameter spectrum from most to least accurate,
 stopping at the cheapest setting whose spread has not degraded
 (Sec. 3.1.3).
+
+Execution is hardened (see :mod:`repro.framework.isolation`): each pass
+can run process-isolated under preemptive budgets, transient failures can
+be retried on derived RNGs, and completed cells can be journaled so a
+killed spectrum walk resumes without re-running finished work.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -21,14 +27,22 @@ from ..diffusion.models import PropagationModel
 from ..diffusion.simulation import SpreadEstimate, monte_carlo_spread
 from ..graph.digraph import DiGraph
 from .convergence import converged
-from .metrics import RunRecord, run_with_budget
+from .isolation import IsolationConfig, RetryPolicy, derive_rng, execute_cell
+from .metrics import RunRecord
+from .results import CheckpointJournal, cell_key
 
 __all__ = ["FrameworkTrace", "IMFramework"]
 
 
 @dataclass
 class FrameworkTrace:
-    """Everything observed across the parameter spectrum of one run."""
+    """Everything observed across the parameter spectrum of one run.
+
+    ``chosen_index`` stays ``-1`` when no configuration completed OK; the
+    ``chosen*`` accessors then raise :class:`LookupError` instead of
+    silently reporting a failed run as the chosen configuration — inspect
+    :attr:`failure` (or :attr:`records`) for what went wrong.
+    """
 
     algorithm: str
     model: str
@@ -38,17 +52,34 @@ class FrameworkTrace:
     parameters: list[dict[str, Any]] = field(default_factory=list)
     chosen_index: int = -1
 
+    def _require_chosen(self) -> int:
+        if self.chosen_index < 0:
+            statuses = [r.status for r in self.records]
+            raise LookupError(
+                f"no configuration of {self.algorithm} completed OK "
+                f"(statuses: {statuses}); inspect trace.records or trace.failure"
+            )
+        return self.chosen_index
+
     @property
     def chosen(self) -> RunRecord:
-        return self.records[self.chosen_index]
+        return self.records[self._require_chosen()]
 
     @property
     def chosen_estimate(self) -> SpreadEstimate:
-        return self.estimates[self.chosen_index]
+        return self.estimates[self._require_chosen()]
 
     @property
     def chosen_parameters(self) -> dict[str, Any]:
-        return self.parameters[self.chosen_index]
+        return self.parameters[self._require_chosen()]
+
+    @property
+    def failure(self) -> RunRecord | None:
+        """First non-OK record of the walk, or None if everything ran."""
+        for record in self.records:
+            if not record.ok:
+                return record
+        return None
 
 
 class IMFramework:
@@ -64,6 +95,18 @@ class IMFramework:
         ``r`` of Alg. 3 — simulations for the decoupled spread estimate.
     tolerance_std:
         Convergence band width in standard deviations (Sec. 5.1.1 uses 1).
+    isolation:
+        Optional :class:`IsolationConfig`; when given it governs how each
+        selection pass executes (subprocess + preemptive budgets).  When
+        omitted, passes run cooperatively in-process under the framework's
+        ``time_limit_seconds``/``memory_limit_mb``.
+    retry:
+        Optional :class:`RetryPolicy` for transient ``FAILED``/``KILLED``
+        cells.
+    journal:
+        Optional :class:`CheckpointJournal` (or a path) — completed cells
+        are appended and a rerun skips them.  ``journal_scope`` (e.g. a
+        dataset name) widens the cell keys when one journal spans sweeps.
     """
 
     def __init__(
@@ -75,6 +118,10 @@ class IMFramework:
         time_limit_seconds: float | None = None,
         memory_limit_mb: float | None = None,
         track_memory: bool = False,
+        isolation: IsolationConfig | None = None,
+        retry: RetryPolicy | None = None,
+        journal: CheckpointJournal | str | os.PathLike | None = None,
+        journal_scope: str | None = None,
     ) -> None:
         self.graph = graph
         self.model = model
@@ -82,9 +129,28 @@ class IMFramework:
         self.tolerance_std = tolerance_std
         self.time_limit_seconds = time_limit_seconds
         self.memory_limit_mb = memory_limit_mb
-        self.track_memory = track_memory
+        # The cooperative memory ceiling is tracemalloc-based; a limit
+        # without tracking would silently never fire (run_with_budget
+        # rejects that combination outright).
+        self.track_memory = track_memory or memory_limit_mb is not None
+        self.isolation = isolation
+        self.retry = retry
+        if journal is not None and not isinstance(journal, CheckpointJournal):
+            journal = CheckpointJournal(journal)
+        self.journal = journal
+        self.journal_scope = journal_scope
 
     # ------------------------------------------------------------------
+
+    def _isolation_config(self) -> IsolationConfig:
+        if self.isolation is not None:
+            return self.isolation
+        return IsolationConfig(
+            enabled=False,
+            time_limit_seconds=self.time_limit_seconds,
+            memory_limit_mb=self.memory_limit_mb,
+            track_memory=self.track_memory,
+        )
 
     def evaluate(
         self,
@@ -92,21 +158,28 @@ class IMFramework:
         k: int,
         rng: np.random.Generator | None = None,
     ) -> RunRecord:
-        """One Alg.-3 inner pass: select seeds, then estimate σ(S) by MC."""
+        """One Alg.-3 inner pass: select seeds, then estimate σ(S) by MC.
+
+        Selection and MC estimation run on independently derived child
+        RNGs so the spread estimate is never correlated with the
+        technique's own selection randomness.
+        """
         rng = np.random.default_rng() if rng is None else rng
-        record, __ = run_with_budget(
+        select_rng = derive_rng(rng, 0)
+        mc_rng = derive_rng(rng, 1)
+        record, __ = execute_cell(
             algorithm,
             self.graph,
             k,
             self.model,
-            rng=rng,
-            time_limit_seconds=self.time_limit_seconds,
-            memory_limit_mb=self.memory_limit_mb,
-            track_memory=self.track_memory,
+            rng=select_rng,
+            config=self._isolation_config(),
+            retry=self.retry,
         )
         if record.ok:
             estimate = monte_carlo_spread(
-                self.graph, record.seeds, self.model, r=self.mc_simulations, rng=rng
+                self.graph, record.seeds, self.model, r=self.mc_simulations,
+                rng=mc_rng,
             )
             record.spread = estimate.mean
             record.spread_std = estimate.std
@@ -123,15 +196,26 @@ class IMFramework:
 
         ``parameter_spectrum`` must be ordered from most to least accurate
         (α_1 first).  With ``None`` (parameter-free techniques) a single
-        default-configured pass runs.
+        default-configured pass runs.  Each pass gets an independently
+        derived child RNG, and journaled cells are reused instead of
+        re-executed.
         """
         rng = np.random.default_rng() if rng is None else rng
         spectrum = list(parameter_spectrum) if parameter_spectrum else [{}]
         trace = FrameworkTrace(algorithm=algorithm_name, model=self.model.name, k=k)
         best_estimate: SpreadEstimate | None = None
         for i, params in enumerate(spectrum):
-            algorithm = registry.make(algorithm_name, **params)
-            record = self.evaluate(algorithm, k, rng=rng)
+            key = cell_key(
+                algorithm_name, params, k,
+                model=self.model.name, scope=self.journal_scope,
+            )
+            if self.journal is not None and key in self.journal:
+                record = self.journal.get(key)
+            else:
+                algorithm = registry.make(algorithm_name, **params)
+                record = self.evaluate(algorithm, k, rng=derive_rng(rng, i))
+                if self.journal is not None:
+                    self.journal.record(key, record)
             estimate = SpreadEstimate(
                 mean=record.spread if record.spread is not None else float("-inf"),
                 std=record.spread_std or 0.0,
@@ -150,6 +234,4 @@ class IMFramework:
                 trace.chosen_index = i
             else:
                 break
-        if trace.chosen_index < 0:
-            trace.chosen_index = 0
         return trace

@@ -10,8 +10,12 @@ from repro.algorithms.celf import CELF
 from repro.algorithms.heuristics import Degree
 from repro.diffusion.models import IC
 from repro.framework.metrics import (
+    BUDGET_STATUSES,
+    FAILURE_STATUSES,
     STATUS_CRASHED,
     STATUS_DNF,
+    STATUS_FAILED,
+    STATUS_KILLED,
     STATUS_OK,
     Measurement,
     ResourceBudget,
@@ -108,3 +112,44 @@ class TestRunWithBudget:
             Degree(), small_graph, 2, IC, rng=rng, track_memory=False
         )
         assert record.peak_memory_mb is None
+
+
+class TestFailureTaxonomy:
+    def test_status_vocabulary(self):
+        assert STATUS_FAILED == "FAILED" and STATUS_KILLED == "KILLED"
+        assert set(BUDGET_STATUSES) == {STATUS_DNF, STATUS_CRASHED}
+        assert set(FAILURE_STATUSES) == {STATUS_FAILED, STATUS_KILLED}
+        assert STATUS_OK not in BUDGET_STATUSES + FAILURE_STATUSES
+
+    def test_unexpected_exception_becomes_failed(self, small_graph, rng):
+        from repro.framework.isolation import FaultInjector
+
+        algo = FaultInjector(
+            Degree(), fault="raise", exception=KeyError("boom")
+        )
+        record, result = run_with_budget(algo, small_graph, 3, IC, rng=rng)
+        assert record.status == STATUS_FAILED
+        assert not record.ok
+        assert result is None
+        failure = record.extras["failure"]
+        assert failure["type"] == "KeyError"
+        assert "boom" in failure["traceback"]
+
+    def test_failed_cell_renders_status(self):
+        failed = RunRecord("X", "IC", 5, STATUS_FAILED)
+        assert failed.cell() == "FAILED"
+
+    def test_memory_limit_without_tracking_rejected(self, small_graph, rng):
+        with pytest.raises(ValueError, match="track_memory"):
+            run_with_budget(
+                Degree(), small_graph, 2, IC, rng=rng,
+                memory_limit_mb=10.0, track_memory=False,
+            )
+
+    def test_memory_limit_with_tracking_accepted(self, small_graph, rng):
+        record, __ = run_with_budget(
+            Degree(), small_graph, 2, IC, rng=rng,
+            memory_limit_mb=500.0, track_memory=True,
+        )
+        assert record.status == STATUS_OK
+        assert record.peak_memory_mb is not None

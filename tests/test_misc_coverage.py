@@ -67,12 +67,17 @@ class TestFrameworkEdges:
             40, rng.integers(0, 40, 120), rng.integers(0, 40, 120)
         ))
 
-    def test_run_keeps_first_on_immediate_failure(self, graph, rng):
+    def test_run_surfaces_immediate_failure(self, graph, rng):
         fw = IMFramework(graph, WC, mc_simulations=50,
                          time_limit_seconds=0.001)
         trace = fw.run("CELF", 2, [{"mc_simulations": 500}], rng=rng)
-        assert trace.chosen_index == 0
-        assert not trace.chosen.ok
+        assert trace.chosen_index == -1
+        assert trace.failure is not None
+        assert trace.failure.status == "DNF"
+        with pytest.raises(LookupError):
+            trace.chosen
+        with pytest.raises(LookupError):
+            trace.chosen_parameters
 
     def test_tuning_respects_fixed_params(self, graph, rng):
         result = tune_parameter(
