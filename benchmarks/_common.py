@@ -45,13 +45,16 @@ MEMORY_LIMIT_MB = 300.0
 
 # Hardened-execution knobs, env-switchable so a long sweep can be run
 # process-isolated and resumed after a kill without editing any bench:
-#   REPRO_BENCH_ISOLATE=1  subprocess isolation + preemptive budgets
-#   REPRO_BENCH_RETRIES=n  attempts for transient FAILED/KILLED cells
-#   REPRO_BENCH_RESUME=1   journal cells under results/journals/ and skip
-#                          already-completed ones on rerun
+#   REPRO_BENCH_ISOLATE=1     subprocess isolation + preemptive budgets
+#   REPRO_BENCH_RETRIES=n     attempts for transient FAILED/KILLED cells
+#   REPRO_BENCH_RESUME=1      journal cells under results/journals/ and skip
+#                             already-completed ones on rerun
+#   REPRO_BENCH_RR_WORKERS=n  parallel RR-set sampling (flat CSR engine)
+#                             for the RR-sketch family
 BENCH_ISOLATE = os.environ.get("REPRO_BENCH_ISOLATE", "") == "1"
 BENCH_RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "1") or "1")
 BENCH_RESUME = os.environ.get("REPRO_BENCH_RESUME", "") == "1"
+BENCH_RR_WORKERS = int(os.environ.get("REPRO_BENCH_RR_WORKERS", "0") or "0")
 JOURNAL_DIR = RESULTS_DIR / "journals"
 
 #: Per-algorithm constructor parameters scaled for pure Python.  epsilon /
@@ -84,12 +87,14 @@ def weighted_dataset(name: str, model: PropagationModel):
 
 def scaled_params(name: str, model: PropagationModel | None = None, **overrides):
     """Table-2 parameters merged with the Python-scale adjustments."""
-    from repro.algorithms.registry import optimal_parameters
+    from repro.algorithms.registry import accepts_parameter, optimal_parameters
 
     params = {}
     if model is not None:
         params.update(optimal_parameters(name, model))
     params.update(SCALED_PARAMS.get(name, {}))
+    if BENCH_RR_WORKERS > 1 and accepts_parameter(name, "rr_workers"):
+        params["rr_workers"] = BENCH_RR_WORKERS
     params.update(overrides)
     return params
 

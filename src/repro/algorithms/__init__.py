@@ -22,6 +22,7 @@ from .registry import (
     ALGORITHMS,
     BENCHMARKED,
     OPTIMAL_PARAMETERS,
+    accepts_parameter,
     make,
     make_tuned,
     optimal_parameters,
@@ -61,6 +62,7 @@ __all__ = [
     "ALGORITHMS",
     "BENCHMARKED",
     "OPTIMAL_PARAMETERS",
+    "accepts_parameter",
     "make",
     "make_tuned",
     "optimal_parameters",

@@ -22,7 +22,7 @@ from typing import Any
 import numpy as np
 
 from ..diffusion.models import Dynamics, PropagationModel
-from ..diffusion.rrsets import RRCollection, greedy_max_cover, random_rr_set
+from ..diffusion.rrpool import FlatRRPool, greedy_max_cover
 from ..graph.digraph import DiGraph
 from .base import Budget, IMAlgorithm
 from .ris import log_comb
@@ -43,6 +43,7 @@ class IMM(IMAlgorithm):
         ell: float = 1.0,
         rr_scale: float = 1.0,
         max_rr_sets: int | None = 2_000_000,
+        rr_workers: int | None = None,
     ) -> None:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
@@ -50,6 +51,7 @@ class IMM(IMAlgorithm):
         self.ell = ell
         self.rr_scale = rr_scale
         self.max_rr_sets = max_rr_sets
+        self.rr_workers = rr_workers
 
     def _cap(self, count: float) -> int:
         count = int(math.ceil(count * self.rr_scale))
@@ -59,17 +61,17 @@ class IMM(IMAlgorithm):
 
     def _extend(
         self,
-        pool: RRCollection,
+        pool: FlatRRPool,
         graph: DiGraph,
         dynamics: Dynamics,
         target: int,
         rng: np.random.Generator,
         budget: Budget | None,
     ) -> None:
-        while len(pool) < target:
-            self._tick(budget)
-            nodes, width = random_rr_set(graph, dynamics, rng)
-            pool.add(nodes, width)
+        pool.extend(
+            graph, dynamics, target - len(pool), rng,
+            workers=self.rr_workers, budget=budget,
+        )
 
     def _select(
         self,
@@ -101,7 +103,7 @@ class IMM(IMAlgorithm):
         beta = math.sqrt(one_minus_inv_e * (lcnk + ell * log_n + math.log(2)))
         lambda_star = 2.0 * n * (one_minus_inv_e * alpha + beta) ** 2 / eps**2
 
-        pool = RRCollection(graph.n)
+        pool = FlatRRPool(graph.n)
         lower_bound = 1.0
         phases = 0
         max_i = max(int(math.ceil(math.log2(max(n, 2)))) - 1, 1)
@@ -110,14 +112,16 @@ class IMM(IMAlgorithm):
             x = n / 2.0**i
             theta_i = self._cap(lambda_prime / x)
             self._extend(pool, graph, model.dynamics, theta_i, rng, budget)
-            seeds_i, coverage_i = greedy_max_cover(pool, k)
+            seeds_i, coverage_i = greedy_max_cover(
+                pool, k, pad_priority=graph.out_degree()
+            )
             if n * coverage_i >= (1.0 + eps_prime) * x:
                 lower_bound = n * coverage_i / (1.0 + eps_prime)
                 break
 
         theta = self._cap(lambda_star / lower_bound)
         self._extend(pool, graph, model.dynamics, theta, rng, budget)
-        seeds, coverage = greedy_max_cover(pool, k)
+        seeds, coverage = greedy_max_cover(pool, k, pad_priority=graph.out_degree())
         return seeds, {
             "lower_bound": lower_bound,
             "sampling_phases": phases,
@@ -126,4 +130,5 @@ class IMM(IMAlgorithm):
             "coverage_fraction": coverage,
             "extrapolated_spread": coverage * n,
             "epsilon": eps,
+            "rr_pool_bytes": pool.nbytes,
         }

@@ -19,7 +19,7 @@ from typing import Any
 import numpy as np
 
 from ..diffusion.models import Dynamics, PropagationModel
-from ..diffusion.rrsets import RRCollection, greedy_max_cover, random_rr_set
+from ..diffusion.rrpool import FlatRRPool, greedy_max_cover, random_rr_set
 from ..graph.digraph import DiGraph
 from .base import Budget, IMAlgorithm
 
@@ -34,19 +34,28 @@ def log_comb(n: int, k: int) -> float:
 
 
 class RIS(IMAlgorithm):
-    """Fixed-budget reverse influence sampling."""
+    """Fixed-budget reverse influence sampling.
+
+    ``rr_workers > 1`` samples the pool across a process pool (flat-CSR
+    engine); the width-budget stopping rule forces serial sampling, since
+    the stop depends on the running width total.
+    """
 
     name = "RIS"
     supported = (Dynamics.IC, Dynamics.LT)
     external_parameter = "#RR Sets"
 
     def __init__(
-        self, num_rr_sets: int = 10_000, width_budget: int | None = None
+        self,
+        num_rr_sets: int = 10_000,
+        width_budget: int | None = None,
+        rr_workers: int | None = None,
     ) -> None:
         if num_rr_sets < 1:
             raise ValueError("num_rr_sets must be positive")
         self.num_rr_sets = num_rr_sets
         self.width_budget = width_budget
+        self.rr_workers = rr_workers
 
     def _select(
         self,
@@ -56,17 +65,24 @@ class RIS(IMAlgorithm):
         rng: np.random.Generator,
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
-        pool = RRCollection(graph.n)
-        while len(pool) < self.num_rr_sets:
-            self._tick(budget)
-            nodes, width = random_rr_set(graph, model.dynamics, rng)
-            pool.add(nodes, width)
-            if self.width_budget is not None and pool.total_width >= self.width_budget:
-                break
-        seeds, coverage = greedy_max_cover(pool, k)
+        pool = FlatRRPool(graph.n)
+        if self.width_budget is not None:
+            while len(pool) < self.num_rr_sets:
+                self._tick(budget)
+                nodes, width = random_rr_set(graph, model.dynamics, rng)
+                pool.add(nodes, width)
+                if pool.total_width >= self.width_budget:
+                    break
+        else:
+            pool.extend(
+                graph, model.dynamics, self.num_rr_sets, rng,
+                workers=self.rr_workers, budget=budget,
+            )
+        seeds, coverage = greedy_max_cover(pool, k, pad_priority=graph.out_degree())
         return seeds, {
             "num_rr_sets": len(pool),
             "total_width": pool.total_width,
             "coverage_fraction": coverage,
             "extrapolated_spread": coverage * graph.n,
+            "rr_pool_bytes": pool.nbytes,
         }

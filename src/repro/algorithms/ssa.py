@@ -33,7 +33,7 @@ from typing import Any
 import numpy as np
 
 from ..diffusion.models import Dynamics, PropagationModel
-from ..diffusion.rrsets import RRCollection, greedy_max_cover
+from ..diffusion.rrpool import FlatRRPool, greedy_max_cover
 from ..graph.digraph import DiGraph
 from .base import Budget, IMAlgorithm
 from .ris import log_comb
@@ -54,6 +54,7 @@ class SSA(IMAlgorithm):
         ell: float = 1.0,
         rr_scale: float = 1.0,
         max_rr_sets: int | None = 2_000_000,
+        rr_workers: int | None = None,
     ) -> None:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
@@ -61,6 +62,7 @@ class SSA(IMAlgorithm):
         self.ell = ell
         self.rr_scale = rr_scale
         self.max_rr_sets = max_rr_sets
+        self.rr_workers = rr_workers
         # The paper splits eps into (eps1, eps2, eps3) with
         # (1+eps1)(1+eps2)(1+eps3) <= 1+eps; the reference code uses an
         # even three-way split.
@@ -87,10 +89,11 @@ class SSA(IMAlgorithm):
         count: int,
         rng: np.random.Generator,
         budget: Budget | None,
-    ) -> RRCollection:
-        pool = RRCollection(graph.n)
-        pool.extend(graph, dynamics, count, rng)
-        self._tick(budget)
+    ) -> FlatRRPool:
+        pool = FlatRRPool(graph.n)
+        pool.extend(
+            graph, dynamics, count, rng, workers=self.rr_workers, budget=budget
+        )
         return pool
 
     def _select(
@@ -117,7 +120,9 @@ class SSA(IMAlgorithm):
             self._tick(budget)
             selection = self._sample(graph, model.dynamics, pool_size, rng, budget)
             total_sampled += len(selection)
-            seeds, coverage = greedy_max_cover(selection, k)
+            seeds, coverage = greedy_max_cover(
+                selection, k, pad_priority=graph.out_degree()
+            )
             optimistic = coverage * n
             verification = self._sample(
                 graph, model.dynamics, pool_size, rng, budget
@@ -135,6 +140,7 @@ class SSA(IMAlgorithm):
             "coverage_fraction": coverage,
             "extrapolated_spread": coverage * n,
             "epsilon": self.epsilon,
+            "rr_pool_bytes": selection.nbytes + verification.nbytes,
         }
 
 
@@ -166,7 +172,9 @@ class DSSA(SSA):
         while True:
             iterations += 1
             self._tick(budget)
-            seeds, coverage = greedy_max_cover(selection, k)
+            seeds, coverage = greedy_max_cover(
+                selection, k, pad_priority=graph.out_degree()
+            )
             optimistic = coverage * n
             verification = self._sample(
                 graph, model.dynamics, len(selection), rng, budget
@@ -179,12 +187,12 @@ class DSSA(SSA):
                 break
             # Dynamic step: the verification pool joins the selection pool
             # (the sampling effort is never wasted).
-            for nodes in verification.sets:
-                selection.add(nodes)
+            selection.absorb(verification)
         return seeds, {
             "num_rr_sets": total_sampled,
             "stare_iterations": iterations,
             "coverage_fraction": coverage,
             "extrapolated_spread": coverage * n,
             "epsilon": self.epsilon,
+            "rr_pool_bytes": selection.nbytes + verification.nbytes,
         }

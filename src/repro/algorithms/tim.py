@@ -30,7 +30,7 @@ from typing import Any
 import numpy as np
 
 from ..diffusion.models import Dynamics, PropagationModel
-from ..diffusion.rrsets import RRCollection, greedy_max_cover, random_rr_set
+from ..diffusion.rrpool import FlatRRPool, greedy_max_cover
 from ..graph.digraph import DiGraph
 from .base import Budget, IMAlgorithm
 from .ris import log_comb
@@ -51,6 +51,7 @@ class TIMPlus(IMAlgorithm):
         ell: float = 1.0,
         rr_scale: float = 1.0,
         max_rr_sets: int | None = 2_000_000,
+        rr_workers: int | None = None,
     ) -> None:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
@@ -58,6 +59,7 @@ class TIMPlus(IMAlgorithm):
         self.ell = ell
         self.rr_scale = rr_scale
         self.max_rr_sets = max_rr_sets
+        self.rr_workers = rr_workers
 
     # ------------------------------------------------------------------
 
@@ -69,17 +71,17 @@ class TIMPlus(IMAlgorithm):
 
     def _extend(
         self,
-        pool: RRCollection,
+        pool: FlatRRPool,
         graph: DiGraph,
         dynamics: Dynamics,
         target: int,
         rng: np.random.Generator,
         budget: Budget | None,
     ) -> None:
-        while len(pool) < target:
-            self._tick(budget)
-            nodes, width = random_rr_set(graph, dynamics, rng)
-            pool.add(nodes, width)
+        pool.extend(
+            graph, dynamics, target - len(pool), rng,
+            workers=self.rr_workers, budget=budget,
+        )
 
     def _kpt_estimation(
         self,
@@ -88,7 +90,7 @@ class TIMPlus(IMAlgorithm):
         dynamics: Dynamics,
         rng: np.random.Generator,
         budget: Budget | None,
-        pool: RRCollection,
+        pool: FlatRRPool,
     ) -> float:
         """Alg. 2 of the TIM paper: iterative-halving estimate of KPT."""
         n, m = graph.n, graph.m
@@ -98,13 +100,11 @@ class TIMPlus(IMAlgorithm):
         max_i = max(int(math.log2(max(n, 2))) - 1, 1)
         for i in range(1, max_i + 1):
             ci = self._cap((6 * self.ell * log_n + 6 * math.log(max_i + 1)) * 2**i)
-            total = 0.0
-            for __ in range(ci):
-                self._tick(budget)
-                nodes, width = random_rr_set(graph, dynamics, rng)
-                pool.add(nodes, width)
-                kappa = 1.0 - (1.0 - width / m) ** k
-                total += kappa
+            start = len(pool)
+            self._extend(pool, graph, dynamics, start + ci, rng, budget)
+            # kappa per sample, vectorized over the batch's widths.
+            widths = pool.widths[start : start + ci].astype(np.float64)
+            total = float(np.sum(1.0 - (1.0 - widths / m) ** k))
             if total / ci > 1.0 / 2**i:
                 return max(n * total / (2.0 * ci), 1.0)
         return 1.0
@@ -117,17 +117,17 @@ class TIMPlus(IMAlgorithm):
         kpt: float,
         rng: np.random.Generator,
         budget: Budget | None,
-        pool: RRCollection,
+        pool: FlatRRPool,
     ) -> float:
         """Alg. 3 of the TIM paper: tighten KPT with an intermediate greedy."""
         n = graph.n
         log_n = math.log(max(n, 2))
-        seeds, __ = greedy_max_cover(pool, k)
+        seeds, __ = greedy_max_cover(pool, k, pad_priority=graph.out_degree())
         eps_prime = 5.0 * (self.ell * self.epsilon**2 / (k + self.ell)) ** (1.0 / 3.0)
         theta_prime = self._cap(
             (2 + eps_prime) * self.ell * n * log_n / (eps_prime**2 * kpt)
         )
-        probe = RRCollection(graph.n)
+        probe = FlatRRPool(graph.n)
         self._extend(probe, graph, dynamics, theta_prime, rng, budget)
         fraction = probe.coverage_fraction(seeds)
         kpt_plus = fraction * n / (1.0 + eps_prime)
@@ -147,7 +147,7 @@ class TIMPlus(IMAlgorithm):
             return [], {"num_rr_sets": 0, "extrapolated_spread": 0.0}
         n = graph.n
         log_n = math.log(max(n, 2))
-        pool = RRCollection(graph.n)
+        pool = FlatRRPool(graph.n)
         kpt = self._kpt_estimation(graph, k, model.dynamics, rng, budget, pool)
         kpt_plus = self._refine_kpt(graph, k, model.dynamics, kpt, rng, budget, pool)
 
@@ -158,9 +158,9 @@ class TIMPlus(IMAlgorithm):
             / self.epsilon**2
         )
         theta = self._cap(lam / kpt_plus)
-        final = RRCollection(graph.n)
+        final = FlatRRPool(graph.n)
         self._extend(final, graph, model.dynamics, theta, rng, budget)
-        seeds, coverage = greedy_max_cover(final, k)
+        seeds, coverage = greedy_max_cover(final, k, pad_priority=graph.out_degree())
         return seeds, {
             "kpt": kpt,
             "kpt_plus": kpt_plus,
@@ -169,4 +169,5 @@ class TIMPlus(IMAlgorithm):
             "coverage_fraction": coverage,
             "extrapolated_spread": coverage * n,
             "epsilon": self.epsilon,
+            "rr_pool_bytes": final.nbytes,
         }

@@ -79,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--algorithm", required=True)
     sel.add_argument("--k", type=int, required=True)
     sel.add_argument("--param", action="append", metavar="KEY=VALUE")
+    sel.add_argument("--rr-workers", type=int, default=None, metavar="N",
+                     help="processes for parallel RR-set sampling (flat CSR "
+                          "engine); only meaningful for the RR-sketch family "
+                          "(RIS/TIM+/IMM/SSA/D-SSA), ignored elsewhere")
     sel.add_argument("--mc", type=int, default=1000, help="simulations for sigma(S)")
     sel.add_argument("--seed", type=int, default=0, help="RNG seed")
     sel.add_argument("--time-limit", type=float, default=None)
@@ -133,6 +137,12 @@ def _cmd_select(args) -> int:
     model = diffusion.model_by_name(args.model)
     graph = model.weighted(datasets.load(args.dataset), np.random.default_rng(0))
     params = _parse_params(args.param)
+    if args.rr_workers is not None and args.rr_workers > 1:
+        if algorithms.registry.accepts_parameter(args.algorithm, "rr_workers"):
+            params.setdefault("rr_workers", args.rr_workers)
+        else:
+            print(f"note: {args.algorithm} does not sample RR sets; "
+                  "--rr-workers ignored")
     algo = algorithms.make(args.algorithm, **params)
     journal = CheckpointJournal(args.resume) if args.resume else None
     key = cell_key(args.algorithm, params, args.k,

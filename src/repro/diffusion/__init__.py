@@ -32,7 +32,8 @@ from .opinion import (
     monte_carlo_opinion_spread,
     simulate_opinion_spread,
 )
-from .rrsets import RRCollection, greedy_max_cover, random_rr_set
+from .rrpool import FlatRRPool
+from .rrsets import RRCollection, greedy_max_cover, greedy_max_cover_legacy, random_rr_set
 
 __all__ = [
     "IC",
@@ -60,7 +61,9 @@ __all__ = [
     "assign_opinions",
     "monte_carlo_opinion_spread",
     "simulate_opinion_spread",
+    "FlatRRPool",
     "RRCollection",
     "greedy_max_cover",
+    "greedy_max_cover_legacy",
     "random_rr_set",
 ]

@@ -1,4 +1,4 @@
-"""Reverse-reachable (RR) set sampling — the substrate of RIS/TIM+/IMM.
+"""Reverse-reachable (RR) set compatibility layer.
 
 An RR set for a node ``v`` is the set of nodes that would reach ``v`` in a
 random live-edge world.  Borgs et al.'s key identity: the probability that
@@ -6,163 +6,131 @@ a seed set S intersects the RR set of a uniformly random node equals
 σ(S)/n, so seed selection reduces to greedy maximum coverage over a pool
 of RR sets.
 
-Under IC an RR set is a reverse BFS with per-edge coin flips; under LT it
-is a reverse random walk that, at each node, keeps at most one incoming
-edge chosen with probability equal to its weight (and stops with the
-residual probability).  Both samplers record the "width" (number of edges
-examined) that TIM+'s KPT estimation needs.
+The engine itself lives in :mod:`repro.diffusion.rrpool` — a flat CSR
+pool with parallel sampling and a vectorized max-cover.  This module
+keeps the historical surface:
+
+* :func:`random_rr_set` and :func:`greedy_max_cover` are re-exported.
+* :class:`RRCollection` is now a thin shim over :class:`FlatRRPool`
+  exposing the old ``sets`` / ``member_of`` list views (rebuilt lazily
+  from the CSR arrays and cached until the next append).
+* :func:`greedy_max_cover_legacy` is the original list-walking cover,
+  retained as the reference implementation the flat engine is proven
+  seed-for-seed identical to (``tests/test_rr_statistical.py`` and
+  ``benchmarks/bench_rr_engine.py``).
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..graph.digraph import DiGraph
 from .models import Dynamics
+from .rrpool import FlatRRPool, greedy_max_cover, pad_seeds, random_rr_set
 
-__all__ = ["random_rr_set", "RRCollection", "greedy_max_cover"]
-
-
-def random_rr_set(
-    graph: DiGraph,
-    dynamics: Dynamics,
-    rng: np.random.Generator,
-    root: int | None = None,
-) -> tuple[np.ndarray, int]:
-    """Sample one RR set; returns ``(nodes, width)``.
-
-    ``width`` counts the in-edges examined while growing the set — the
-    quantity TIM+ uses to estimate KPT (expected cascade cost).
-    """
-    if graph.n == 0:
-        raise ValueError("graph has no nodes")
-    if root is None:
-        root = int(rng.integers(0, graph.n))
-    in_ptr, in_src, in_w = graph.in_ptr, graph.in_src, graph.in_w
-    visited = {root}
-    width = 0
-
-    if dynamics is Dynamics.IC:
-        frontier = [root]
-        while frontier:
-            v = frontier.pop()
-            lo, hi = int(in_ptr[v]), int(in_ptr[v + 1])
-            width += hi - lo
-            if lo == hi:
-                continue
-            coins = rng.random(hi - lo)
-            hits = np.nonzero(coins < in_w[lo:hi])[0]
-            for j in hits:
-                u = int(in_src[lo + j])
-                if u not in visited:
-                    visited.add(u)
-                    frontier.append(u)
-        return np.fromiter(visited, dtype=np.int64, count=len(visited)), width
-
-    if dynamics is Dynamics.LT:
-        v = root
-        while True:
-            lo, hi = int(in_ptr[v]), int(in_ptr[v + 1])
-            width += hi - lo
-            if lo == hi:
-                break
-            cumulative = np.cumsum(in_w[lo:hi])
-            j = int(np.searchsorted(cumulative, rng.random(), side="right"))
-            if j >= hi - lo:
-                break  # residual probability 1 - sum(w): no live in-edge
-            u = int(in_src[lo + j])
-            if u in visited:
-                break  # walk closed a cycle; the set cannot grow further
-            visited.add(u)
-            v = u
-        return np.fromiter(visited, dtype=np.int64, count=len(visited)), width
-
-    raise ValueError(f"unsupported dynamics {dynamics!r}")  # pragma: no cover
+__all__ = [
+    "random_rr_set",
+    "FlatRRPool",
+    "RRCollection",
+    "greedy_max_cover",
+    "greedy_max_cover_legacy",
+]
 
 
-@dataclass
-class RRCollection:
-    """A pool of RR sets with the inverted index used by max-cover.
+class RRCollection(FlatRRPool):
+    """Backward-compatible view of a :class:`FlatRRPool`.
 
     ``sets[i]`` is the node array of RR set i; ``member_of[v]`` lists the
-    ids of the sets containing node v.
+    ids of the sets containing node v.  Both are materialized from the
+    CSR arrays on first access and cached until the pool grows.
     """
 
-    n: int
-    sets: list[np.ndarray] = field(default_factory=list)
-    member_of: list[list[int]] = field(init=False)
-    total_width: int = 0
+    __slots__ = ("_sets_cache", "_member_cache")
 
-    def __post_init__(self) -> None:
-        self.member_of = [[] for __ in range(self.n)]
-        existing, self.sets = self.sets, []
-        for nodes in existing:
+    def __init__(self, n: int, sets: list[np.ndarray] | None = None) -> None:
+        super().__init__(n)
+        self._sets_cache: list[np.ndarray] | None = None
+        self._member_cache: list[list[int]] | None = None
+        for nodes in sets or []:
             self.add(nodes)
 
     def add(self, nodes: np.ndarray, width: int = 0) -> None:
-        """Append one RR set to the pool."""
-        set_id = len(self.sets)
-        self.sets.append(nodes)
-        self.total_width += width
-        for v in nodes:
-            self.member_of[int(v)].append(set_id)
+        self._sets_cache = self._member_cache = None
+        super().add(nodes, width)
 
-    def extend(
-        self,
-        graph: DiGraph,
-        dynamics: Dynamics,
-        count: int,
-        rng: np.random.Generator,
-    ) -> None:
-        """Sample ``count`` additional RR sets from ``graph``."""
-        for __ in range(count):
-            nodes, width = random_rr_set(graph, dynamics, rng)
-            self.add(nodes, width)
+    def _append_chunk(self, lengths, flat, widths) -> None:
+        self._sets_cache = self._member_cache = None
+        super()._append_chunk(lengths, flat, widths)
 
-    def __len__(self) -> int:
-        return len(self.sets)
+    @property
+    def sets(self) -> list[np.ndarray]:
+        if self._sets_cache is None:
+            ptr = self.set_ptr
+            self._sets_cache = [
+                self.set_nodes[ptr[i] : ptr[i + 1]] for i in range(len(self))
+            ]
+        return self._sets_cache
 
-    def coverage_fraction(self, seeds: np.ndarray | list[int]) -> float:
-        """Fraction of RR sets intersected by ``seeds`` (= σ(S)/n estimate)."""
-        if not self.sets:
-            return 0.0
-        covered = np.zeros(len(self.sets), dtype=bool)
-        for s in np.asarray(seeds, dtype=np.int64):
-            covered[self.member_of[int(s)]] = True
-        return float(covered.mean())
+    @property
+    def member_of(self) -> list[list[int]]:
+        if self._member_cache is None:
+            node_ptr, node_sets = self.node_index
+            self._member_cache = [
+                node_sets[node_ptr[v] : node_ptr[v + 1]].tolist()
+                for v in range(self.n)
+            ]
+        return self._member_cache
 
 
-def greedy_max_cover(
-    collection: RRCollection, k: int
+def greedy_max_cover_legacy(
+    collection: FlatRRPool,
+    k: int,
+    pad_priority: np.ndarray | None = None,
 ) -> tuple[list[int], float]:
-    """Greedy maximum coverage of the RR pool (Sec. 4.2 seed selection).
+    """The original list-walking greedy max-cover (reference implementation).
 
-    Returns the chosen seeds and the fraction of sets covered.  Uses lazy
-    (CELF-style) marginal-count updates; coverage counts are exact.
+    Functionally identical to :func:`repro.diffusion.rrpool.greedy_max_cover`
+    (the statistical test layer asserts byte-identical seed sets); kept
+    for equivalence testing and as the baseline of the
+    ``benchmarks/bench_rr_engine.py`` speedup measurement.
     """
-    num_sets = len(collection.sets)
+    num_sets = len(collection)
     if num_sets == 0 or k <= 0:
         return [], 0.0
-    count = np.zeros(collection.n, dtype=np.int64)
-    for v in range(collection.n):
-        count[v] = len(collection.member_of[v])
+    n = collection.n
+    if isinstance(collection, RRCollection):
+        sets = collection.sets
+        member_of = collection.member_of
+    else:
+        ptr, data = collection.set_ptr, collection.set_nodes
+        sets = [data[ptr[i] : ptr[i + 1]] for i in range(num_sets)]
+        node_ptr, node_sets = collection.node_index
+        member_of = [
+            node_sets[node_ptr[v] : node_ptr[v + 1]].tolist() for v in range(n)
+        ]
+    count = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        count[v] = len(member_of[v])
     covered = np.zeros(num_sets, dtype=bool)
     seeds: list[int] = []
-    for __ in range(min(k, collection.n)):
+    for __ in range(min(k, n)):
         v = int(count.argmax())
         if count[v] <= 0:
-            # Nothing left to cover; pad with highest-degree unseeded nodes
-            # so exactly k seeds are returned, as the reference codes do.
-            remaining = [u for u in range(collection.n) if u not in set(seeds)]
-            seeds.extend(remaining[: k - len(seeds)])
+            # Nothing left to cover; pad with the highest-degree unseeded
+            # nodes so exactly k seeds are returned, as the reference
+            # codes do.
+            priority = (
+                pad_priority
+                if pad_priority is not None
+                else collection.membership_counts()
+            )
+            pad_seeds(seeds, k, n, priority)
             break
         seeds.append(v)
-        newly = [i for i in collection.member_of[v] if not covered[i]]
+        newly = [i for i in member_of[v] if not covered[i]]
         for i in newly:
             covered[i] = True
-            for u in collection.sets[i]:
+            for u in sets[i]:
                 count[int(u)] -= 1
         # count[v] is now 0 automatically (its uncovered sets were covered).
     return seeds[:k], float(covered.mean())

@@ -145,6 +145,19 @@ class RunRecord:
     def ok(self) -> bool:
         return self.status == STATUS_OK
 
+    @property
+    def rr_pool_mb(self) -> float | None:
+        """RR-pool CSR footprint in MB, when the technique reported one.
+
+        tracemalloc peaks underestimate a pool that is populated and
+        freed in phases; the flat engine reports the arrays' true size in
+        ``extras["rr_pool_bytes"]``, surfaced here for memory benchmarks.
+        """
+        raw = self.extras.get("rr_pool_bytes")
+        if raw is None:
+            return None
+        return float(raw) / 1e6
+
     def cell(self) -> str:
         """Table-3-style cell: spread/time/memory or DNF/Crashed."""
         if not self.ok:

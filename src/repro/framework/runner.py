@@ -107,6 +107,13 @@ class IMFramework:
         Optional :class:`CheckpointJournal` (or a path) — completed cells
         are appended and a rerun skips them.  ``journal_scope`` (e.g. a
         dataset name) widens the cell keys when one journal spans sweeps.
+    rr_workers:
+        When > 1, injected as the ``rr_workers`` constructor parameter of
+        every technique that accepts it (the RR-sketch family), fanning
+        RR-set sampling out over a process pool.  Because parallel pools
+        draw from different streams than serial ones, the value is part
+        of each journal cell key — cells journaled at one worker count
+        are not silently reused at another.
     """
 
     def __init__(
@@ -122,6 +129,7 @@ class IMFramework:
         retry: RetryPolicy | None = None,
         journal: CheckpointJournal | str | os.PathLike | None = None,
         journal_scope: str | None = None,
+        rr_workers: int | None = None,
     ) -> None:
         self.graph = graph
         self.model = model
@@ -139,6 +147,7 @@ class IMFramework:
             journal = CheckpointJournal(journal)
         self.journal = journal
         self.journal_scope = journal_scope
+        self.rr_workers = rr_workers
 
     # ------------------------------------------------------------------
 
@@ -202,6 +211,14 @@ class IMFramework:
         """
         rng = np.random.default_rng() if rng is None else rng
         spectrum = list(parameter_spectrum) if parameter_spectrum else [{}]
+        if (
+            self.rr_workers is not None
+            and self.rr_workers > 1
+            and registry.accepts_parameter(algorithm_name, "rr_workers")
+        ):
+            spectrum = [
+                {"rr_workers": self.rr_workers, **params} for params in spectrum
+            ]
         trace = FrameworkTrace(algorithm=algorithm_name, model=self.model.name, k=k)
         best_estimate: SpreadEstimate | None = None
         for i, params in enumerate(spectrum):

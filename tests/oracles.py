@@ -8,7 +8,17 @@ from __future__ import annotations
 
 import itertools
 
+from repro.diffusion.models import Dynamics
 from repro.graph.digraph import DiGraph
+
+
+def exact_spread(graph: DiGraph, seeds: list[int], dynamics: Dynamics) -> float:
+    """Exact σ(S) under either dynamics (dispatcher for the two oracles)."""
+    if dynamics is Dynamics.IC:
+        return exact_ic_spread(graph, seeds)
+    if dynamics is Dynamics.LT:
+        return exact_lt_spread(graph, seeds)
+    raise ValueError(f"unsupported dynamics {dynamics!r}")
 
 
 def exact_ic_spread(graph: DiGraph, seeds: list[int]) -> float:

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.diffusion._frontier import gather_edges
 from repro.diffusion.models import Dynamics
+from repro.diffusion.rrpool import random_rr_set
 from repro.diffusion.rrsets import RRCollection, greedy_max_cover
 from repro.graph import weights as weight_schemes
 from repro.graph.digraph import DiGraph
@@ -139,6 +140,86 @@ class TestFrontierGather:
             [np.arange(g.out_ptr[u], g.out_ptr[u + 1]) for u in nodes]
         ) if nodes.size else np.empty(0, dtype=np.int64)
         assert np.array_equal(np.sort(got), np.sort(expected))
+
+
+class TestRandomRRSetInvariants:
+    """Invariants of a single RR-set draw, under both dynamics.
+
+    An RR set is the set of nodes that reach the root through live
+    edges, so: the root is always a member, every member reaches the
+    root inside the set, LT sets are simple paths (the reverse walk
+    keeps at most one in-edge per node), and ``width`` equals the total
+    in-degree of the set (each member's in-edges are examined once).
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs(max_nodes=8, max_edges=16), st.integers(0, 2**31 - 1), st.data())
+    def test_root_always_in_set(self, g, seed, data):
+        root = data.draw(st.integers(0, g.n - 1))
+        for dynamics in (Dynamics.IC, Dynamics.LT):
+            nodes, __ = random_rr_set(
+                g, dynamics, np.random.default_rng(seed), root=root
+            )
+            assert root in nodes.tolist()
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs(max_nodes=8, max_edges=16), st.integers(0, 2**31 - 1), st.data())
+    def test_members_reach_root_within_set(self, g, seed, data):
+        root = data.draw(st.integers(0, g.n - 1))
+        for dynamics in (Dynamics.IC, Dynamics.LT):
+            nodes, __ = random_rr_set(
+                g, dynamics, np.random.default_rng(seed), root=root
+            )
+            members = set(nodes.tolist())
+            # Reverse-close from the root over examined in-edges: the
+            # fixpoint must recover every member (RR sets are closed
+            # under path intermediates).
+            reached = {root}
+            grew = True
+            while grew:
+                grew = False
+                for v in list(reached):
+                    srcs, __ = g.in_neighbors(v)
+                    for u in srcs:
+                        u = int(u)
+                        if u in members and u not in reached:
+                            reached.add(u)
+                            grew = True
+            assert reached == members
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs(max_nodes=8, max_edges=16, weighted=False),
+           st.integers(0, 2**31 - 1), st.data())
+    def test_lt_set_is_a_simple_path(self, g, seed, data):
+        wg = weight_schemes.lt_uniform(g)
+        root = data.draw(st.integers(0, wg.n - 1))
+        nodes, __ = random_rr_set(
+            wg, Dynamics.LT, np.random.default_rng(seed), root=root
+        )
+        members = set(nodes.tolist())
+
+        def extends_to_path(v, visited):
+            if len(visited) == len(members):
+                return True
+            srcs, __ = wg.in_neighbors(v)
+            return any(
+                extends_to_path(int(u), visited | {int(u)})
+                for u in srcs
+                if int(u) in members and int(u) not in visited
+            )
+
+        assert extends_to_path(root, {root})
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs(max_nodes=8, max_edges=16), st.integers(0, 2**31 - 1), st.data())
+    def test_width_equals_in_edges_examined(self, g, seed, data):
+        root = data.draw(st.integers(0, g.n - 1))
+        in_degree = g.in_degree()
+        for dynamics in (Dynamics.IC, Dynamics.LT):
+            nodes, width = random_rr_set(
+                g, dynamics, np.random.default_rng(seed), root=root
+            )
+            assert width == int(in_degree[nodes].sum())
 
 
 class TestMaxCoverProperties:
