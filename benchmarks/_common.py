@@ -51,10 +51,20 @@ MEMORY_LIMIT_MB = 300.0
 #                             already-completed ones on rerun
 #   REPRO_BENCH_RR_WORKERS=n  parallel RR-set sampling (flat CSR engine)
 #                             for the RR-sketch family
+#   REPRO_BENCH_MC_WORKERS=n  parallel Monte-Carlo simulation (decoupled
+#                             scoring and the MC greedy family's oracles)
+#   REPRO_BENCH_MC_BATCH=b    cascades per vectorized multi-cascade kernel
+#                             call for the same paths
+#   REPRO_BENCH_SPREAD_ORACLE=name
+#                             sigma(S) backend injected into techniques
+#                             that accept it (serial/batched/snapshot/sketch)
 BENCH_ISOLATE = os.environ.get("REPRO_BENCH_ISOLATE", "") == "1"
 BENCH_RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "1") or "1")
 BENCH_RESUME = os.environ.get("REPRO_BENCH_RESUME", "") == "1"
 BENCH_RR_WORKERS = int(os.environ.get("REPRO_BENCH_RR_WORKERS", "0") or "0")
+BENCH_MC_WORKERS = int(os.environ.get("REPRO_BENCH_MC_WORKERS", "0") or "0")
+BENCH_MC_BATCH = int(os.environ.get("REPRO_BENCH_MC_BATCH", "0") or "0")
+BENCH_SPREAD_ORACLE = os.environ.get("REPRO_BENCH_SPREAD_ORACLE", "") or None
 JOURNAL_DIR = RESULTS_DIR / "journals"
 
 #: Per-algorithm constructor parameters scaled for pure Python.  epsilon /
@@ -95,14 +105,30 @@ def scaled_params(name: str, model: PropagationModel | None = None, **overrides)
     params.update(SCALED_PARAMS.get(name, {}))
     if BENCH_RR_WORKERS > 1 and accepts_parameter(name, "rr_workers"):
         params["rr_workers"] = BENCH_RR_WORKERS
+    if BENCH_MC_WORKERS > 1 and accepts_parameter(name, "mc_workers"):
+        params["mc_workers"] = BENCH_MC_WORKERS
+    if BENCH_MC_BATCH > 1 and accepts_parameter(name, "mc_batch"):
+        params["mc_batch"] = BENCH_MC_BATCH
+    if BENCH_SPREAD_ORACLE and accepts_parameter(name, "spread_oracle"):
+        params["spread_oracle"] = BENCH_SPREAD_ORACLE
     params.update(overrides)
     return params
 
 
-def evaluate_spread(graph, seeds, model, r: int = MC_EVAL, seed: int = 99):
+def evaluate_spread(
+    graph,
+    seeds,
+    model,
+    r: int = MC_EVAL,
+    seed: int = 99,
+    workers: int | None = None,
+    batch: int | None = None,
+):
     """Decoupled σ(S) estimate (the Sec.-5.1 uniform comparison point)."""
     return monte_carlo_spread(
-        graph, seeds, model, r=r, rng=np.random.default_rng(seed)
+        graph, seeds, model, r=r, rng=np.random.default_rng(seed),
+        workers=workers or (BENCH_MC_WORKERS if BENCH_MC_WORKERS > 1 else None),
+        batch=batch or (BENCH_MC_BATCH if BENCH_MC_BATCH > 1 else None),
     )
 
 

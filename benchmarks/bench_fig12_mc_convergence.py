@@ -44,6 +44,9 @@ def test_fig12_mc_convergence(benchmark):
         series = {
             "mean": [round(p.mean, 1) for p in points],
             "sd of mean": [round(p.std_of_mean, 2) for p in points],
+            # Analytic error bar (SpreadEstimate.stderr); should track the
+            # empirical across-repeat deviation above.
+            "stderr": [round(p.stderr, 2) for p in points],
         }
         blocks.append(render_series(
             "r", list(COUNTS), series,

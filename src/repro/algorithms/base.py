@@ -20,7 +20,13 @@ import numpy as np
 from ..diffusion.models import Dynamics, PropagationModel
 from ..graph.digraph import DiGraph
 
-__all__ = ["Budget", "BudgetExceeded", "SeedSelectionResult", "IMAlgorithm"]
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "SeedSelectionResult",
+    "IMAlgorithm",
+    "SpreadOracleMixin",
+]
 
 
 class BudgetExceeded(RuntimeError):
@@ -167,3 +173,64 @@ class IMAlgorithm(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
+
+
+class SpreadOracleMixin:
+    """Constructor plumbing shared by the oracle-backed greedy family.
+
+    GREEDY/CELF/CELF++ all answer the same question — which σ(S) backend
+    services their marginal-gain queries — so the knobs live here once.
+    ``spread_oracle=None`` with no batching knobs keeps the historical
+    per-cascade path, byte-identical for seeded runs.
+    """
+
+    def _init_oracle(
+        self,
+        mc_simulations: int,
+        spread_oracle,
+        mc_batch: int | None,
+        mc_workers: int | None,
+        num_worlds: int | None,
+        sketch_k: int = 8,
+    ) -> None:
+        if mc_simulations < 1:
+            raise ValueError("mc_simulations must be positive")
+        if mc_batch is not None and mc_batch < 1:
+            raise ValueError("mc_batch must be positive")
+        if mc_workers is not None and mc_workers < 1:
+            raise ValueError("mc_workers must be positive")
+        if num_worlds is not None and num_worlds < 1:
+            raise ValueError("num_worlds must be positive")
+        self.mc_simulations = mc_simulations
+        self.spread_oracle = spread_oracle
+        self.mc_batch = mc_batch
+        self.mc_workers = mc_workers
+        self.num_worlds = num_worlds
+        self.sketch_k = sketch_k
+
+    def _build_oracle(self, graph, model, rng, budget):
+        """Resolve the configured backend plus a gain memo for this run."""
+        from ..diffusion.oracle import GainCache, make_oracle
+
+        oracle = make_oracle(
+            self.spread_oracle,
+            graph,
+            model,
+            rng,
+            mc_simulations=self.mc_simulations,
+            mc_batch=self.mc_batch,
+            mc_workers=self.mc_workers,
+            num_worlds=self.num_worlds,
+            sketch_k=self.sketch_k,
+            budget=budget,
+        )
+        return oracle, GainCache()
+
+    @staticmethod
+    def _oracle_extras(oracle, cache) -> dict[str, Any]:
+        return {
+            "spread_oracle": oracle.name,
+            "sigma_evaluations": oracle.evaluations,
+            "gain_cache_hits": cache.hits,
+            "gain_cache_misses": cache.misses,
+        }

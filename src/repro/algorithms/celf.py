@@ -14,6 +14,15 @@ per iteration, the execution-environment-independent metric of Appendix C.
 CELF++'s look-ahead costs extra simulation work per lookup, which is why
 its wall-clock time ends up on par with CELF despite slightly fewer
 lookups — the behaviour the paper demonstrates in Figs. 9a-b/13.
+
+Gain queries go through a pluggable spread oracle plus a marginal-gain
+memo (:mod:`repro.diffusion.oracle`).  With a deterministic backend the
+memo turns repeated (seed set, node) queries — including CELF++-style
+look-ahead gains resurfacing later — into cache hits, so ``lookups``
+counts true evaluations.  ``spread_oracle=None`` preserves the historical
+per-cascade draw order byte for byte.  The ``sketch`` backend lets CELF
+seed its queue from reach upper bounds instead of an n-node evaluation
+scan (the first pop of each bound entry triggers the real evaluation).
 """
 
 from __future__ import annotations
@@ -25,29 +34,35 @@ from typing import Any
 import numpy as np
 
 from ..diffusion.models import Dynamics, PropagationModel
-from ..diffusion.simulation import DEFAULT_MC_SIMULATIONS, monte_carlo_spread
+from ..diffusion.simulation import DEFAULT_MC_SIMULATIONS
 from ..graph.digraph import DiGraph
-from .base import Budget, IMAlgorithm
+from .base import Budget, IMAlgorithm, SpreadOracleMixin
 
 __all__ = ["CELF", "CELFpp"]
 
+#: Queue-round sentinel for entries holding a sketch bound, not a gain.
+_BOUND_ROUND = -1
 
-class CELF(IMAlgorithm):
+
+class CELF(SpreadOracleMixin, IMAlgorithm):
     """Cost-Effective Lazy Forward selection."""
 
     name = "CELF"
     supported = (Dynamics.IC, Dynamics.LT)
     external_parameter = "#MC Simulations"
 
-    def __init__(self, mc_simulations: int = DEFAULT_MC_SIMULATIONS) -> None:
-        if mc_simulations < 1:
-            raise ValueError("mc_simulations must be positive")
-        self.mc_simulations = mc_simulations
-
-    def _sigma(self, graph, seeds, model, rng) -> float:
-        return monte_carlo_spread(
-            graph, seeds, model, r=self.mc_simulations, rng=rng
-        ).mean
+    def __init__(
+        self,
+        mc_simulations: int = DEFAULT_MC_SIMULATIONS,
+        spread_oracle: str | None = None,
+        mc_batch: int | None = None,
+        mc_workers: int | None = None,
+        num_worlds: int | None = None,
+        sketch_k: int = 8,
+    ) -> None:
+        self._init_oracle(
+            mc_simulations, spread_oracle, mc_batch, mc_workers, num_worlds, sketch_k
+        )
 
     def _select(
         self,
@@ -57,20 +72,29 @@ class CELF(IMAlgorithm):
         rng: np.random.Generator,
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
+        oracle, cache = self._build_oracle(graph, model, rng, budget)
         counter = itertools.count()
         heap: list[tuple[float, int, int, int]] = []  # (-gain, tiebreak, node, round)
         cached = np.zeros(graph.n, dtype=np.float64)
         lookups = [0]
-        for v in range(graph.n):
-            self._tick(budget)
-            gain = self._sigma(graph, [v], model, rng)
-            cached[v] = gain
-            lookups[0] += 1
-            heapq.heappush(heap, (-gain, next(counter), v, 0))
+        if oracle.provides_bounds:
+            # Sketch backend: enqueue cheap upper bounds; a bound entry is
+            # never picked directly — its first pop evaluates for real.
+            for v in range(graph.n):
+                bound = oracle.gain_bound(v)
+                cached[v] = bound
+                heapq.heappush(heap, (-bound, next(counter), v, _BOUND_ROUND))
+        else:
+            for v in range(graph.n):
+                self._tick(budget)
+                before = cache.misses
+                gain = cache.gain(oracle, v)
+                cached[v] = gain
+                lookups[0] += cache.misses - before
+                heapq.heappush(heap, (-gain, next(counter), v, 0))
 
         seeds: list[int] = []
         in_seed = np.zeros(graph.n, dtype=bool)
-        sigma_s = 0.0
         while heap and len(seeds) < k:
             neg_gain, __, v, round_tag = heapq.heappop(heap)
             if in_seed[v] or -neg_gain != cached[v]:
@@ -79,37 +103,42 @@ class CELF(IMAlgorithm):
                 # Gain is fresh for the current seed set: pick it.
                 seeds.append(v)
                 in_seed[v] = True
-                sigma_s += -neg_gain
+                oracle.commit(v, -neg_gain)
                 if len(lookups) <= len(seeds) and len(seeds) < k:
                     lookups.append(0)
                 continue
             self._tick(budget)
-            gain = self._sigma(graph, seeds + [v], model, rng) - sigma_s
+            before = cache.misses
+            gain = cache.gain(oracle, v)
             cached[v] = gain
-            lookups[-1] += 1
+            lookups[-1] += cache.misses - before
             heapq.heappush(heap, (-gain, next(counter), v, len(seeds)))
         return seeds, {
             "node_lookups_per_iteration": lookups[: max(len(seeds), 1)],
-            "estimated_spread": sigma_s,
+            "estimated_spread": oracle.committed_sigma,
+            **self._oracle_extras(oracle, cache),
         }
 
 
-class CELFpp(IMAlgorithm):
+class CELFpp(SpreadOracleMixin, IMAlgorithm):
     """CELF++ with the prev-best look-ahead optimization."""
 
     name = "CELF++"
     supported = (Dynamics.IC, Dynamics.LT)
     external_parameter = "#MC Simulations"
 
-    def __init__(self, mc_simulations: int = DEFAULT_MC_SIMULATIONS) -> None:
-        if mc_simulations < 1:
-            raise ValueError("mc_simulations must be positive")
-        self.mc_simulations = mc_simulations
-
-    def _sigma(self, graph, seeds, model, rng) -> float:
-        return monte_carlo_spread(
-            graph, seeds, model, r=self.mc_simulations, rng=rng
-        ).mean
+    def __init__(
+        self,
+        mc_simulations: int = DEFAULT_MC_SIMULATIONS,
+        spread_oracle: str | None = None,
+        mc_batch: int | None = None,
+        mc_workers: int | None = None,
+        num_worlds: int | None = None,
+        sketch_k: int = 8,
+    ) -> None:
+        self._init_oracle(
+            mc_simulations, spread_oracle, mc_batch, mc_workers, num_worlds, sketch_k
+        )
 
     def _select(
         self,
@@ -119,6 +148,7 @@ class CELFpp(IMAlgorithm):
         rng: np.random.Generator,
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
+        oracle, cache = self._build_oracle(graph, model, rng, budget)
         counter = itertools.count()
         # Entry state per node: mg1 (gain wrt S), prev_best (the best node
         # seen when mg1 was computed), mg2 (gain wrt S + prev_best), flag
@@ -134,13 +164,17 @@ class CELFpp(IMAlgorithm):
         cur_best_gain = -np.inf
         for v in range(graph.n):
             self._tick(budget)
-            mg1[v] = self._sigma(graph, [v], model, rng)
-            lookups[0] += 1
+            before = cache.misses
+            mg1[v] = cache.gain(oracle, v)
+            lookups[0] += cache.misses - before
             prev_best[v] = cur_best
             if cur_best >= 0:
                 # Look-ahead: gain of v given the current front-runner is
-                # also simulated now — the extra work CELF++ banks on.
-                mg2[v] = self._sigma(graph, [cur_best, v], model, rng) - cur_best_gain
+                # also computed now — the extra work CELF++ banks on.  Via
+                # the memo it becomes the hit serving v's next re-lookup.
+                mg2[v] = cache.gain(
+                    oracle, v, extra=[cur_best], extra_gain=cur_best_gain
+                )
             else:
                 mg2[v] = mg1[v]
             if mg1[v] > cur_best_gain:
@@ -149,7 +183,6 @@ class CELFpp(IMAlgorithm):
 
         seeds: list[int] = []
         last_seed = -1
-        sigma_s = 0.0
         cur_best = -1
         cur_best_gain = -np.inf
         in_seed = np.zeros(graph.n, dtype=bool)
@@ -160,7 +193,7 @@ class CELFpp(IMAlgorithm):
             if flag[v] == len(seeds):
                 seeds.append(v)
                 in_seed[v] = True
-                sigma_s += mg1[v]
+                oracle.commit(v, mg1[v])
                 last_seed = v
                 cur_best, cur_best_gain = -1, -np.inf
                 if len(lookups) <= len(seeds) and len(seeds) < k:
@@ -168,17 +201,19 @@ class CELFpp(IMAlgorithm):
                 continue
             if prev_best[v] == last_seed and flag[v] == len(seeds) - 1:
                 # The saving: mg2 was computed against exactly this seed set.
-                mg1[v] = mg2[v]
+                # With a deterministic backend the look-ahead landed in the
+                # memo under this very (seed set, node) key, so the same
+                # answer comes back as a hit — still zero true evaluations.
+                mg1[v] = cache.gain(oracle, v) if oracle.deterministic else mg2[v]
             else:
                 self._tick(budget)
-                mg1[v] = self._sigma(graph, seeds + [v], model, rng) - sigma_s
-                lookups[-1] += 1
+                before = cache.misses
+                mg1[v] = cache.gain(oracle, v)
+                lookups[-1] += cache.misses - before
                 prev_best[v] = cur_best
                 if cur_best >= 0 and cur_best != v:
-                    mg2[v] = (
-                        self._sigma(graph, seeds + [cur_best, v], model, rng)
-                        - sigma_s
-                        - cur_best_gain
+                    mg2[v] = cache.gain(
+                        oracle, v, extra=[cur_best], extra_gain=cur_best_gain
                     )
                 else:
                     mg2[v] = mg1[v]
@@ -188,5 +223,6 @@ class CELFpp(IMAlgorithm):
             heapq.heappush(heap, (-mg1[v], next(counter), v))
         return seeds, {
             "node_lookups_per_iteration": lookups[: max(len(seeds), 1)],
-            "estimated_spread": sigma_s,
+            "estimated_spread": oracle.committed_sigma,
+            **self._oracle_extras(oracle, cache),
         }

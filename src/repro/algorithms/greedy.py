@@ -1,9 +1,15 @@
 """The GREEDY hill-climbing algorithm of Kempe et al. (Alg. 2).
 
-Iteratively adds the node with the largest Monte-Carlo-estimated marginal
-gain σ(S ∪ {v}) − σ(S).  Provides the (1 − 1/e − ε) guarantee of Theorem 2
-but is non-scalable: every iteration re-estimates the spread of every node
+Iteratively adds the node with the largest estimated marginal gain
+σ(S ∪ {v}) − σ(S).  Provides the (1 − 1/e − ε) guarantee of Theorem 2 but
+is non-scalable: every iteration re-estimates the spread of every node
 (the paper benchmarks CELF/CELF++ instead for exactly this reason).
+
+Gains are served by a pluggable :class:`~repro.diffusion.oracle.SpreadOracle`
+(``spread_oracle=None`` keeps the historical per-cascade Monte Carlo,
+byte-identical under a fixed seed).  With the ``sketch`` backend, nodes
+whose reach upper bound cannot beat the iteration's running best are
+skipped without evaluation.
 """
 
 from __future__ import annotations
@@ -13,29 +19,32 @@ from typing import Any
 import numpy as np
 
 from ..diffusion.models import Dynamics, PropagationModel
-from ..diffusion.simulation import DEFAULT_MC_SIMULATIONS, monte_carlo_spread
+from ..diffusion.simulation import DEFAULT_MC_SIMULATIONS
 from ..graph.digraph import DiGraph
-from .base import Budget, IMAlgorithm
+from .base import Budget, IMAlgorithm, SpreadOracleMixin
 
 __all__ = ["Greedy"]
 
 
-class Greedy(IMAlgorithm):
+class Greedy(SpreadOracleMixin, IMAlgorithm):
     """Kempe et al.'s GREEDY with ``r`` MC simulations per estimate."""
 
     name = "GREEDY"
     supported = (Dynamics.IC, Dynamics.LT)
     external_parameter = "#MC Simulations"
 
-    def __init__(self, mc_simulations: int = DEFAULT_MC_SIMULATIONS) -> None:
-        if mc_simulations < 1:
-            raise ValueError("mc_simulations must be positive")
-        self.mc_simulations = mc_simulations
-
-    def _estimate(self, graph, seeds, model, rng) -> float:
-        return monte_carlo_spread(
-            graph, seeds, model, r=self.mc_simulations, rng=rng
-        ).mean
+    def __init__(
+        self,
+        mc_simulations: int = DEFAULT_MC_SIMULATIONS,
+        spread_oracle: str | None = None,
+        mc_batch: int | None = None,
+        mc_workers: int | None = None,
+        num_worlds: int | None = None,
+        sketch_k: int = 8,
+    ) -> None:
+        self._init_oracle(
+            mc_simulations, spread_oracle, mc_batch, mc_workers, num_worlds, sketch_k
+        )
 
     def _select(
         self,
@@ -45,26 +54,33 @@ class Greedy(IMAlgorithm):
         rng: np.random.Generator,
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
+        oracle, cache = self._build_oracle(graph, model, rng, budget)
         seeds: list[int] = []
         in_seed = np.zeros(graph.n, dtype=bool)
-        current = 0.0
         lookups: list[int] = []
+        bound_skips = 0
         for __ in range(k):
             best_v, best_gain = -1, -np.inf
-            evaluations = 0
+            before = cache.misses
             for v in range(graph.n):
                 if in_seed[v]:
                     continue
+                if oracle.provides_bounds and oracle.gain_bound(v) <= best_gain:
+                    bound_skips += 1
+                    continue
                 self._tick(budget)
-                gain = self._estimate(graph, seeds + [v], model, rng) - current
-                evaluations += 1
+                gain = cache.gain(oracle, v)
                 if gain > best_gain:
                     best_gain, best_v = gain, v
             seeds.append(best_v)
             in_seed[best_v] = True
-            current += best_gain
-            lookups.append(evaluations)
+            oracle.commit(best_v, best_gain)
+            # True evaluations this iteration (memo hits don't count) —
+            # the M1 "node lookups" metric of Appendix C.
+            lookups.append(cache.misses - before)
         return seeds, {
             "node_lookups_per_iteration": lookups,
-            "estimated_spread": current,
+            "estimated_spread": oracle.committed_sigma,
+            "bound_skips": bound_skips,
+            **self._oracle_extras(oracle, cache),
         }

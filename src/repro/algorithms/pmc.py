@@ -26,7 +26,11 @@ import itertools
 import numpy as np
 
 from ..diffusion.models import Dynamics, PropagationModel
-from ..diffusion.snapshots import Snapshot, strongly_connected_components
+from ..diffusion.snapshots import (
+    Snapshot,
+    sample_live_masks,
+    strongly_connected_components,
+)
 from ..graph.digraph import DiGraph
 from .base import Budget, IMAlgorithm
 
@@ -103,11 +107,10 @@ class PMC(IMAlgorithm):
         rng: np.random.Generator,
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
-        worlds: list[tuple[np.ndarray, np.ndarray, list[np.ndarray]]] = []
-        for __ in range(self.num_snapshots):
-            self._tick(budget)
-            live = rng.random(graph.m) < graph.out_w
-            worlds.append(contract_snapshot(graph, live))
+        # Shared world sampler (same RNG stream as the historical per-world
+        # loop, so seeded runs are unchanged).
+        masks = sample_live_masks(graph, Dynamics.IC, self.num_snapshots, rng, budget)
+        worlds = [contract_snapshot(graph, masks[i]) for i in range(self.num_snapshots)]
         dead = [np.zeros(sizes.shape[0], dtype=bool) for __, sizes, __a in worlds]
         # Nodes in the same component of a world have identical reach there;
         # memoize per (world, component) and invalidate when seeds change.

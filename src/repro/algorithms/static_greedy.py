@@ -11,6 +11,15 @@ inputs (Sec. 5.5; the paper could not even run SG on its large datasets).
 Because a covered node's reachable set is already fully covered, marginal
 BFS stops at covered nodes — marginal gains shrink rapidly across
 iterations, the property lazy evaluation feeds on.
+
+The reach computations are served by the snapshot spread oracle
+(:class:`repro.diffusion.oracle.SnapshotOracle`): all worlds advance in
+one vectorized multi-world BFS instead of R Python BFS walks.  World
+sampling goes through :func:`repro.diffusion.snapshots.sample_live_masks`
+— the same stream as the historical per-snapshot loop, and the gains are
+exact per-world counts either way, so seeded runs are unchanged.
+:func:`snapshot_adjacency` / :func:`_marginal_reach` remain the scalar
+reference implementation (SKIM and the property tests use them).
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ import itertools
 import numpy as np
 
 from ..diffusion.models import Dynamics, PropagationModel
-from ..diffusion.snapshots import generate_ic_snapshot
+from ..diffusion.oracle import SnapshotOracle
 from ..graph.digraph import DiGraph
 from .base import Budget, IMAlgorithm
 
@@ -82,18 +91,7 @@ class StaticGreedy(IMAlgorithm):
         rng: np.random.Generator,
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
-        snapshots: list[list[np.ndarray]] = []
-        for __ in range(self.num_snapshots):
-            self._tick(budget)
-            live = rng.random(graph.m) < graph.out_w
-            snapshots.append(snapshot_adjacency(graph, live))
-        covered = [np.zeros(graph.n, dtype=bool) for __ in snapshots]
-
-        def gain(v: int) -> float:
-            total = 0
-            for adj, cov in zip(snapshots, covered):
-                total += len(_marginal_reach(adj, cov, v))
-            return total / len(snapshots)
+        oracle = SnapshotOracle(graph, model, self.num_snapshots, rng, budget=budget)
 
         counter = itertools.count()
         cached = np.zeros(graph.n, dtype=np.float64)
@@ -101,13 +99,12 @@ class StaticGreedy(IMAlgorithm):
         for v in range(graph.n):
             if v % 64 == 0:
                 self._tick(budget)
-            g = gain(v)
+            g = oracle.gain(v)
             cached[v] = g
             heapq.heappush(heap, (-g, next(counter), v, 0))
 
         seeds: list[int] = []
         in_seed = np.zeros(graph.n, dtype=bool)
-        estimated = 0.0
         while heap and len(seeds) < k:
             neg_gain, __, v, round_tag = heapq.heappop(heap)
             if in_seed[v] or -neg_gain != cached[v]:
@@ -115,16 +112,14 @@ class StaticGreedy(IMAlgorithm):
             if round_tag == len(seeds):
                 seeds.append(v)
                 in_seed[v] = True
-                estimated += -neg_gain
-                for adj, cov in zip(snapshots, covered):
-                    for u in _marginal_reach(adj, cov, v):
-                        cov[u] = True
+                oracle.commit(v, -neg_gain)
                 continue
             self._tick(budget)
-            g = gain(v)
+            g = oracle.gain(v)
             cached[v] = g
             heapq.heappush(heap, (-g, next(counter), v, len(seeds)))
         return seeds, {
             "num_snapshots": self.num_snapshots,
-            "estimated_spread": estimated,
+            "estimated_spread": oracle.committed_sigma,
+            "sigma_evaluations": oracle.evaluations,
         }

@@ -84,6 +84,22 @@ def build_parser() -> argparse.ArgumentParser:
                           "engine); only meaningful for the RR-sketch family "
                           "(RIS/TIM+/IMM/SSA/D-SSA), ignored elsewhere")
     sel.add_argument("--mc", type=int, default=1000, help="simulations for sigma(S)")
+    sel.add_argument("--spread-oracle", default=None, metavar="BACKEND",
+                     choices=list(diffusion.ORACLE_BACKENDS),
+                     help="sigma(S) backend for the MC greedy family "
+                          "(GREEDY/CELF/CELF++): serial (legacy per-cascade), "
+                          "batched (vectorized multi-cascade MC), snapshot "
+                          "(presampled live-edge worlds), sketch (snapshot + "
+                          "bottom-k gain bounds); ignored elsewhere")
+    sel.add_argument("--mc-batch", type=int, default=None, metavar="B",
+                     help="cascades per vectorized kernel call, for both the "
+                          "selection oracle (when accepted) and the scoring "
+                          "estimate")
+    sel.add_argument("--mc-workers", type=int, default=None, metavar="N",
+                     help="processes for the Monte-Carlo simulations, for both "
+                          "the selection oracle (when accepted) and the "
+                          "scoring estimate; matches --rr-workers for the "
+                          "sketch family")
     sel.add_argument("--seed", type=int, default=0, help="RNG seed")
     sel.add_argument("--time-limit", type=float, default=None)
     sel.add_argument("--memory-limit-mb", type=float, default=None)
@@ -143,6 +159,19 @@ def _cmd_select(args) -> int:
         else:
             print(f"note: {args.algorithm} does not sample RR sets; "
                   "--rr-workers ignored")
+    if args.spread_oracle is not None:
+        if algorithms.registry.accepts_parameter(args.algorithm, "spread_oracle"):
+            params.setdefault("spread_oracle", args.spread_oracle)
+        else:
+            print(f"note: {args.algorithm} does not take a spread oracle; "
+                  "--spread-oracle ignored")
+    for flag, name in (("mc_batch", "--mc-batch"), ("mc_workers", "--mc-workers")):
+        value = getattr(args, flag)
+        if value is not None and value > 1:
+            if algorithms.registry.accepts_parameter(args.algorithm, flag):
+                params.setdefault(flag, value)
+            # No note when rejected: both flags still shape the scoring
+            # estimate below, so they are never wholly ignored.
     algo = algorithms.make(args.algorithm, **params)
     journal = CheckpointJournal(args.resume) if args.resume else None
     key = cell_key(args.algorithm, params, args.k,
@@ -177,6 +206,7 @@ def _cmd_select(args) -> int:
     estimate = diffusion.monte_carlo_spread(
         graph, record.seeds, model, r=args.mc,
         rng=np.random.default_rng(args.seed + 1),
+        workers=args.mc_workers, batch=args.mc_batch,
     )
     print(f"algorithm : {args.algorithm}")
     print(f"dataset   : {args.dataset} ({graph.n} nodes, {graph.m} arcs)")

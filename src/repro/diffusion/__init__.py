@@ -14,6 +14,7 @@ from .models import (
 )
 from .independent_cascade import simulate_ic, simulate_ic_times
 from .linear_threshold import simulate_lt
+from .batched import batched_cascades, simulate_ic_batch, simulate_lt_batch
 from .simulation import (
     DEFAULT_MC_SIMULATIONS,
     SpreadEstimate,
@@ -24,7 +25,18 @@ from .snapshots import (
     Snapshot,
     generate_ic_snapshot,
     generate_lt_snapshot,
+    sample_live_masks,
     strongly_connected_components,
+)
+from .oracle import (
+    ORACLE_BACKENDS,
+    BatchedMCOracle,
+    GainCache,
+    SequentialMCOracle,
+    SketchOracle,
+    SnapshotOracle,
+    SpreadOracle,
+    make_oracle,
 )
 from .opinion import (
     OpinionEstimate,
@@ -49,6 +61,9 @@ __all__ = [
     "simulate_ic",
     "simulate_ic_times",
     "simulate_lt",
+    "batched_cascades",
+    "simulate_ic_batch",
+    "simulate_lt_batch",
     "DEFAULT_MC_SIMULATIONS",
     "SpreadEstimate",
     "monte_carlo_spread",
@@ -56,7 +71,16 @@ __all__ = [
     "Snapshot",
     "generate_ic_snapshot",
     "generate_lt_snapshot",
+    "sample_live_masks",
     "strongly_connected_components",
+    "ORACLE_BACKENDS",
+    "BatchedMCOracle",
+    "GainCache",
+    "SequentialMCOracle",
+    "SketchOracle",
+    "SnapshotOracle",
+    "SpreadOracle",
+    "make_oracle",
     "OpinionEstimate",
     "assign_opinions",
     "monte_carlo_opinion_spread",

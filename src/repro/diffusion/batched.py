@@ -1,0 +1,159 @@
+"""Batched cascade kernels: advance B independent cascades at once.
+
+The serial simulators in :mod:`independent_cascade` / :mod:`linear_threshold`
+run one cascade per call, so σ(S) estimation with ``r`` simulations costs
+``r`` Python-level BFS walks.  These kernels keep the per-cascade state in
+``B×n`` boolean matrices and, per diffusion step, do
+
+1. **one** shared CSR gather of the out-edges of the *union* frontier
+   (:func:`repro.diffusion._frontier.gather_edges`), and
+2. **one** vectorized RNG draw of shape ``B×E`` covering every
+   (cascade, frontier edge) trial,
+
+so a whole batch advances with a constant number of numpy calls per step
+regardless of ``B``.  Cascades that have already died simply contribute
+empty frontier rows; the step loop exits when every row is dead.
+
+Sample-for-sample the batched kernels draw from a different stream layout
+than the serial loops (coins are consumed edge-major across the batch),
+so batched and serial estimates agree only *distributionally* — verified
+by the KS tests in ``tests/test_spread_statistical.py``, mirroring the
+serial-vs-parallel contract of the RR engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ._frontier import gather_edges
+from .models import Dynamics
+
+__all__ = [
+    "simulate_ic_batch",
+    "simulate_lt_batch",
+    "batched_cascades",
+]
+
+
+def _union_frontier_edges(
+    out_ptr: np.ndarray, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(eidx, src)`` for all out-edges of nodes on any cascade's frontier."""
+    union = np.nonzero(frontier.any(axis=0))[0]
+    if union.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    eidx = gather_edges(out_ptr, union)
+    counts = out_ptr[union + 1] - out_ptr[union]
+    return eidx, np.repeat(union, counts)
+
+
+def simulate_ic_batch(
+    graph: DiGraph,
+    seeds: np.ndarray | list[int],
+    rng: np.random.Generator,
+    batch: int,
+) -> np.ndarray:
+    """Run ``batch`` independent IC cascades; return the ``B×n`` active mask.
+
+    Per Definition 4, each edge out of a newly active node is tried exactly
+    once per cascade: a node enters a cascade's frontier only on the step
+    it activates, so its out-edges receive one coin in that cascade.
+    """
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    seeds = np.asarray(seeds, dtype=np.int64)
+    active = np.zeros((batch, graph.n), dtype=bool)
+    if seeds.size == 0:
+        return active
+    active[:, seeds] = True
+    frontier = active.copy()
+    out_ptr, out_dst, out_w = graph.out_ptr, graph.out_dst, graph.out_w
+    while True:
+        eidx, src = _union_frontier_edges(out_ptr, frontier)
+        if eidx.size == 0:
+            break
+        dst = out_dst[eidx]
+        coins = rng.random((batch, eidx.size))
+        # A trial happens only in cascades whose frontier holds the source.
+        attempt = frontier[:, src] & (coins < out_w[eidx][None, :])
+        b_idx, e_pos = np.nonzero(attempt)
+        if b_idx.size == 0:
+            break
+        newly = np.zeros_like(active)
+        newly[b_idx, dst[e_pos]] = True
+        newly &= ~active
+        if not newly.any():
+            break
+        active |= newly
+        frontier = newly
+    return active
+
+
+def simulate_lt_batch(
+    graph: DiGraph,
+    seeds: np.ndarray | list[int],
+    rng: np.random.Generator,
+    batch: int,
+    thresholds: np.ndarray | None = None,
+) -> np.ndarray:
+    """Run ``batch`` independent LT cascades; return the ``B×n`` active mask.
+
+    Each cascade draws its own threshold realization θ ~ U(0,1)^n unless
+    ``thresholds`` (shape ``B×n``) shares one across calls.  As in the
+    serial kernel, only nodes that have received in-weight are threshold
+    candidates: accumulated weight never shrinks, so checking all touched
+    nodes each step is equivalent to checking the newly touched ones.
+    """
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    seeds = np.asarray(seeds, dtype=np.int64)
+    active = np.zeros((batch, graph.n), dtype=bool)
+    if seeds.size == 0:
+        return active
+    if thresholds is None:
+        theta = rng.random((batch, graph.n))
+    else:
+        theta = np.asarray(thresholds, dtype=np.float64)
+        if theta.shape != (batch, graph.n):
+            raise ValueError("thresholds must have shape (batch, n)")
+    accumulated = np.zeros((batch, graph.n), dtype=np.float64)
+    touched = np.zeros((batch, graph.n), dtype=bool)
+    active[:, seeds] = True
+    frontier = active.copy()
+    out_ptr, out_dst, out_w = graph.out_ptr, graph.out_dst, graph.out_w
+    n = graph.n
+    while True:
+        eidx, src = _union_frontier_edges(out_ptr, frontier)
+        if eidx.size == 0:
+            break
+        dst = out_dst[eidx]
+        b_idx, e_pos = np.nonzero(frontier[:, src])
+        if b_idx.size == 0:
+            break
+        # Each active node's weight counts exactly once per cascade:
+        # frontier rows hold only newly active nodes.
+        flat = b_idx * n + dst[e_pos]
+        np.add.at(accumulated.ravel(), flat, out_w[eidx][e_pos])
+        touched[b_idx, dst[e_pos]] = True
+        newly = touched & ~active & (accumulated >= theta)
+        if not newly.any():
+            break
+        active |= newly
+        frontier = newly
+    return active
+
+
+def batched_cascades(
+    graph: DiGraph,
+    seeds: np.ndarray | list[int],
+    dynamics: Dynamics,
+    rng: np.random.Generator,
+    batch: int,
+) -> np.ndarray:
+    """Dispatch ``batch`` cascades under the given dynamics (B×n mask)."""
+    if dynamics is Dynamics.IC:
+        return simulate_ic_batch(graph, seeds, rng, batch)
+    if dynamics is Dynamics.LT:
+        return simulate_lt_batch(graph, seeds, rng, batch)
+    raise ValueError(f"unsupported dynamics {dynamics!r}")  # pragma: no cover

@@ -1,0 +1,533 @@
+"""Spread oracles: interchangeable σ(S) backends for the greedy family.
+
+Every simulation-based technique in the paper's line-up (GREEDY, CELF,
+CELF++, StaticGreedy, PMC) reduces to the same query stream: marginal
+gains σ(S ∪ {v}) − σ(S) against a slowly growing committed seed set, plus
+occasional σ evaluations of arbitrary sets.  A :class:`SpreadOracle`
+answers that stream; four backends trade accuracy structure for speed:
+
+``serial``
+    One fresh Monte-Carlo cascade at a time on the caller's RNG — the
+    historical behaviour, kept byte-identical so seeded runs and golden
+    tests are unaffected when no oracle is requested.
+``batched``
+    Fresh Monte Carlo through the vectorized multi-cascade kernels
+    (:mod:`repro.diffusion.batched`), with the per-query RNG *derived from
+    the query content*, so a repeated query returns the identical estimate
+    and memoization is transparent.
+``snapshot``
+    The coin-flip technique of Sec. 4.3 generalized: presample R live-edge
+    worlds once (shared sampler with StaticGreedy/PMC in
+    :mod:`repro.diffusion.snapshots`) and answer every query by cached
+    per-world reachability.  Marginal gains BFS only the *uncovered*
+    region, so CELF's queue re-evaluations stop re-sampling and get
+    cheaper as the seed set grows.
+``sketch``
+    The snapshot backend plus per-world bottom-k reachability sketches
+    (Cohen's pruned rank-order construction), giving O(1)
+    approximate-but-cheap gain upper bounds that let lazy greedy skip
+    exact evaluations whose bound cannot win.
+
+On top, :class:`GainCache` memoizes gains keyed by (frozen seed set,
+node).  With a deterministic backend the cache is exact and transparent
+— enabling it cannot change any algorithm's output, only turn repeated
+lookups into hits (the M1 "node lookups" metric then counts true
+evaluations).  With the stochastic ``serial`` backend the cache is
+bypassed, because replaying a cached value would shift the shared RNG
+stream and silently change seeded runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ._frontier import gather_edges
+from .models import Dynamics, PropagationModel
+from .simulation import monte_carlo_spread
+from .snapshots import sample_live_masks
+
+__all__ = [
+    "ORACLE_BACKENDS",
+    "SpreadOracle",
+    "SequentialMCOracle",
+    "BatchedMCOracle",
+    "SnapshotOracle",
+    "SketchOracle",
+    "GainCache",
+    "make_oracle",
+]
+
+#: CLI / constructor spelling of each backend.
+ORACLE_BACKENDS = ("serial", "batched", "snapshot", "sketch")
+
+DEFAULT_MC_BATCH = 64
+
+
+def _dynamics_of(model: PropagationModel | Dynamics) -> Dynamics:
+    return model.dynamics if isinstance(model, PropagationModel) else model
+
+
+def _seed_key(nodes) -> tuple[int, ...]:
+    """Canonical (sorted, deduplicated) key for a seed set."""
+    return tuple(sorted({int(v) for v in nodes}))
+
+
+class SpreadOracle(abc.ABC):
+    """σ(S) and marginal-gain backend shared by the greedy family.
+
+    The oracle tracks the *committed* seed set — the seeds an algorithm
+    has definitively picked — because every backend can answer gains
+    against the committed set far more cheaply than against an arbitrary
+    one.  ``deterministic`` declares whether a repeated query returns the
+    identical answer; only deterministic backends are safe to memoize.
+    """
+
+    name: str = "abstract"
+    deterministic: bool = False
+    #: Whether :meth:`gain_bound` returns usable bounds (sketch backend).
+    provides_bounds: bool = False
+
+    def __init__(self) -> None:
+        self.committed: list[int] = []
+        self.committed_sigma: float = 0.0
+        #: True σ evaluations performed (the cost metric of Appendix C).
+        self.evaluations: int = 0
+
+    @abc.abstractmethod
+    def evaluate(self, nodes: Sequence[int]) -> float:
+        """σ of an arbitrary seed set (one true evaluation)."""
+
+    @abc.abstractmethod
+    def gain(
+        self, v: int, extra: Sequence[int] = (), extra_gain: float = 0.0
+    ) -> float:
+        """Marginal gain of ``v`` w.r.t. committed ∪ ``extra``.
+
+        ``extra_gain`` — the caller's estimate of σ(S ∪ extra) − σ(S) —
+        is the baseline correction backends without a deterministic σ
+        cache (the serial backend) subtract; deterministic backends
+        recompute the baseline themselves and ignore it.
+        """
+
+    def gain_bound(self, v: int) -> float | None:
+        """Cheap upper bound on any future gain of ``v``, or None."""
+        return None
+
+    def commit(self, v: int, gain: float | None = None) -> None:
+        """Record that ``v`` joined the seed set with the given gain."""
+        if gain is None:
+            gain = self.gain(v)
+        self.committed.append(int(v))
+        self.committed_sigma += float(gain)
+
+    def stats(self) -> dict:
+        return {"backend": self.name, "evaluations": self.evaluations}
+
+
+class SequentialMCOracle(SpreadOracle):
+    """The historical per-cascade path: fresh MC on the caller's RNG.
+
+    Draw order is identical to the pre-oracle algorithms (one
+    ``monte_carlo_spread`` call per gain, on the shared generator), so a
+    seeded run through this backend reproduces the legacy seed sets byte
+    for byte.  Not deterministic per query — the stream advances — hence
+    never memoized.
+    """
+
+    name = "serial"
+    deterministic = False
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: PropagationModel | Dynamics,
+        r: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.graph = graph
+        self.model = model
+        self.r = int(r)
+        self.rng = rng
+
+    def evaluate(self, nodes: Sequence[int]) -> float:
+        self.evaluations += 1
+        return monte_carlo_spread(
+            self.graph, list(nodes), self.model, r=self.r, rng=self.rng
+        ).mean
+
+    def gain(
+        self, v: int, extra: Sequence[int] = (), extra_gain: float = 0.0
+    ) -> float:
+        baseline = self.committed_sigma + float(extra_gain)
+        return self.evaluate(self.committed + list(extra) + [int(v)]) - baseline
+
+
+class BatchedMCOracle(SpreadOracle):
+    """Vectorized multi-cascade MC with content-derived RNG streams.
+
+    The generator for a query is spawned from ``(entropy, seed-set key)``,
+    so σ of a given set is a pure function of the oracle's construction
+    seed — repeated queries agree exactly, committed-set baselines are
+    cached, and the memo cache is transparent.  ``workers > 1`` reuses
+    the ``SeedSequence``-spawned process pool of ``monte_carlo_spread``
+    for cross-batch parallelism.
+    """
+
+    name = "batched"
+    deterministic = True
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: PropagationModel | Dynamics,
+        r: int,
+        rng: np.random.Generator,
+        batch: int = DEFAULT_MC_BATCH,
+        workers: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.graph = graph
+        self.model = model
+        self.r = int(r)
+        self.batch = max(1, int(batch))
+        self.workers = workers
+        self._entropy = int(rng.integers(0, 2**63 - 1))
+        self._sigma_cache: dict[tuple[int, ...], float] = {}
+
+    def _sigma(self, key: tuple[int, ...]) -> float:
+        if not key:
+            return 0.0
+        cached = self._sigma_cache.get(key)
+        if cached is not None:
+            return cached
+        query_rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self._entropy, spawn_key=key)
+        )
+        value = monte_carlo_spread(
+            self.graph,
+            list(key),
+            self.model,
+            r=self.r,
+            rng=query_rng,
+            batch=self.batch,
+            workers=self.workers,
+        ).mean
+        self.evaluations += 1
+        self._sigma_cache[key] = value
+        return value
+
+    def evaluate(self, nodes: Sequence[int]) -> float:
+        return self._sigma(_seed_key(nodes))
+
+    def gain(
+        self, v: int, extra: Sequence[int] = (), extra_gain: float = 0.0
+    ) -> float:
+        base = self.committed + list(extra)
+        return self._sigma(_seed_key(base + [int(v)])) - self._sigma(_seed_key(base))
+
+
+class SnapshotOracle(SpreadOracle):
+    """σ(S) by cached reachability over R presampled live-edge worlds.
+
+    All worlds advance together: per BFS level the out-edges of the union
+    frontier are gathered once and masked per world by the ``R×m`` live
+    matrix — the same batching trick as the multi-cascade MC kernels, with
+    coin flips replaced by the presampled worlds.  The committed seed
+    set's per-world reachability (``covered``) persists, so marginal-gain
+    BFS stops at covered nodes (anything beyond them is already covered)
+    and iterations get progressively cheaper — the StaticGreedy/PMC
+    property, now available to CELF/CELF++/GREEDY.
+    """
+
+    name = "snapshot"
+    deterministic = True
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: PropagationModel | Dynamics,
+        num_worlds: int,
+        rng: np.random.Generator,
+        budget=None,
+    ) -> None:
+        super().__init__()
+        if num_worlds < 1:
+            raise ValueError("num_worlds must be positive")
+        self.graph = graph
+        self.num_worlds = int(num_worlds)
+        self.live = sample_live_masks(
+            graph, _dynamics_of(model), self.num_worlds, rng, budget=budget
+        )
+        self.covered = np.zeros((self.num_worlds, graph.n), dtype=bool)
+        self._sigma_cache: dict[tuple[int, ...], float] = {}
+
+    # -- multi-world reachability --------------------------------------
+
+    def _reach(self, sources: Sequence[int], blocked: np.ndarray) -> np.ndarray:
+        """Per-world mask of nodes newly reachable from ``sources``.
+
+        Blocked nodes neither count nor propagate: a node reachable only
+        through a blocked node is itself already covered (reachability is
+        transitive within a world), so stopping there is exact.
+        """
+        newly = np.zeros_like(self.covered)
+        src_idx = np.asarray(list(sources), dtype=np.int64)
+        if src_idx.size == 0:
+            return newly
+        newly[:, src_idx] = True
+        newly &= ~blocked
+        frontier = newly.copy()
+        out_ptr, out_dst = self.graph.out_ptr, self.graph.out_dst
+        while frontier.any():
+            union = np.nonzero(frontier.any(axis=0))[0]
+            eidx = gather_edges(out_ptr, union)
+            if eidx.size == 0:
+                break
+            counts = out_ptr[union + 1] - out_ptr[union]
+            src = np.repeat(union, counts)
+            hit = frontier[:, src] & self.live[:, eidx]
+            w_idx, e_pos = np.nonzero(hit)
+            if w_idx.size == 0:
+                break
+            cand = np.zeros_like(newly)
+            cand[w_idx, out_dst[eidx][e_pos]] = True
+            cand &= ~blocked & ~newly
+            if not cand.any():
+                break
+            newly |= cand
+            frontier = cand
+        return newly
+
+    # -- oracle interface ----------------------------------------------
+
+    def evaluate(self, nodes: Sequence[int]) -> float:
+        key = _seed_key(nodes)
+        if not key:
+            return 0.0
+        cached = self._sigma_cache.get(key)
+        if cached is not None:
+            return cached
+        self.evaluations += 1
+        blocked = np.zeros_like(self.covered)
+        value = float(self._reach(key, blocked).sum()) / self.num_worlds
+        self._sigma_cache[key] = value
+        return value
+
+    def gain(
+        self, v: int, extra: Sequence[int] = (), extra_gain: float = 0.0
+    ) -> float:
+        self.evaluations += 1
+        blocked = self.covered
+        if extra:
+            blocked = blocked | self._reach(extra, self.covered)
+        newly = self._reach([int(v)], blocked)
+        return float(newly.sum()) / self.num_worlds
+
+    def commit(self, v: int, gain: float | None = None) -> None:
+        newly = self._reach([int(v)], self.covered)
+        exact = float(newly.sum()) / self.num_worlds
+        self.covered |= newly
+        self.committed.append(int(v))
+        # Per-world identity: sum of committed marginals == world-average
+        # σ of the committed set, regardless of the gain the caller saw.
+        self.committed_sigma += exact
+        self._sigma_cache.clear()
+
+
+def _bottom_k_reach_estimates(
+    n: int,
+    rptr: np.ndarray,
+    rpred: np.ndarray,
+    ranks: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Per-node reach-size estimates in one world via bottom-k sketches.
+
+    Cohen's pruned construction: process nodes in increasing rank order
+    and reverse-BFS each rank to every node that reaches it, pruning at
+    nodes whose sketch already holds k smaller ranks (their predecessors
+    received those ranks through them already).  A node visited fewer
+    than k times has its reach counted exactly; otherwise the kth-smallest
+    rank gives the classic (k−1)/rank_k estimator.
+    """
+    cnt = np.zeros(n, dtype=np.int64)
+    kth = np.full(n, np.inf)
+    mark = np.full(n, -1, dtype=np.int64)
+    full_nodes = 0
+    for bfs_id, w in enumerate(np.argsort(ranks, kind="stable")):
+        if full_nodes == n:
+            break
+        w = int(w)
+        rank_w = ranks[w]
+        stack = [w]
+        mark[w] = bfs_id
+        while stack:
+            u = stack.pop()
+            if cnt[u] >= k:
+                continue  # sketch full: prune, predecessors already served
+            cnt[u] += 1
+            if cnt[u] == k:
+                kth[u] = rank_w
+                full_nodes += 1
+            for p in rpred[rptr[u] : rptr[u + 1]]:
+                p = int(p)
+                if mark[p] != bfs_id:
+                    mark[p] = bfs_id
+                    stack.append(p)
+    estimates = cnt.astype(np.float64)
+    full = cnt >= k
+    if full.any():
+        estimates[full] = np.maximum((k - 1) / kth[full], float(k))
+    return estimates
+
+
+class SketchOracle(SnapshotOracle):
+    """Snapshot oracle + bottom-k sketch upper bounds on gains.
+
+    Marginal gains under snapshot reuse only shrink as the seed set grows
+    (submodularity, per world), so a node's world-average *total* reach
+    bounds every gain it will ever post.  The sketches estimate that
+    reach in O(k·m) per world at build time; ``slack`` inflates the
+    estimate to absorb sketch error.  Bounds are approximate, not proofs:
+    lazy greedy using them trades the exactness guarantee for skipped
+    evaluations (quantified in ``benchmarks/bench_spread_engine.py``).
+    """
+
+    name = "sketch"
+    deterministic = True
+    provides_bounds = True
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: PropagationModel | Dynamics,
+        num_worlds: int,
+        rng: np.random.Generator,
+        budget=None,
+        sketch_k: int = 8,
+        slack: float = 1.25,
+    ) -> None:
+        super().__init__(graph, model, num_worlds, rng, budget=budget)
+        if sketch_k < 2:
+            raise ValueError("sketch_k must be at least 2")
+        self.sketch_k = int(sketch_k)
+        self.slack = float(slack)
+        self._bounds = self._build_bounds(rng, budget)
+
+    def _build_bounds(self, rng: np.random.Generator, budget) -> np.ndarray:
+        graph, n = self.graph, self.graph.n
+        in_ptr, in_src = graph.in_ptr, graph.in_src
+        owners = np.repeat(np.arange(n, dtype=np.int64), np.diff(in_ptr))
+        totals = np.zeros(n, dtype=np.float64)
+        for i in range(self.num_worlds):
+            if budget is not None:
+                budget.check()
+            # Reverse adjacency of world i: in-CSR edges whose out-order
+            # twin is live.  in-CSR is grouped by destination, so the
+            # filtered arrays are already a valid CSR payload.
+            live_in = self.live[i][graph._in_perm]
+            idx = np.nonzero(live_in)[0]
+            rptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(owners[idx], minlength=n), out=rptr[1:])
+            totals += _bottom_k_reach_estimates(
+                n, rptr, in_src[idx], rng.random(n), self.sketch_k
+            )
+        return totals / self.num_worlds * self.slack
+
+    def gain_bound(self, v: int) -> float | None:
+        return float(self._bounds[int(v)])
+
+
+class GainCache:
+    """Marginal-gain memo keyed by (frozen seed set, node).
+
+    Shared by GREEDY/CELF/CELF++: with a deterministic oracle, a repeated
+    (S, v) query — including CELF++'s look-ahead gains resurfacing after
+    their ``prev_best`` was picked — becomes a hit instead of a true
+    evaluation.  With a stochastic oracle the cache deliberately bypasses
+    itself: replaying a memoized value would skip RNG draws and silently
+    change every subsequent estimate of a seeded run.
+    """
+
+    def __init__(self) -> None:
+        self._memo: dict[tuple[tuple[int, ...], int], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def gain(
+        self,
+        oracle: SpreadOracle,
+        v: int,
+        extra: Sequence[int] = (),
+        extra_gain: float = 0.0,
+    ) -> float:
+        if not oracle.deterministic:
+            self.misses += 1
+            return oracle.gain(v, extra, extra_gain)
+        key = (_seed_key(oracle.committed + list(extra)), int(v))
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = oracle.gain(v, extra, extra_gain)
+        self._memo[key] = value
+        return value
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+def make_oracle(
+    spec: "str | SpreadOracle | None",
+    graph: DiGraph,
+    model: PropagationModel | Dynamics,
+    rng: np.random.Generator,
+    *,
+    mc_simulations: int,
+    mc_batch: int | None = None,
+    mc_workers: int | None = None,
+    num_worlds: int | None = None,
+    sketch_k: int = 8,
+    budget=None,
+) -> SpreadOracle:
+    """Resolve a backend spec (CLI string, instance, or None) to an oracle.
+
+    ``None`` keeps the byte-identical legacy path unless a batched/worker
+    knob was set, in which case the content-keyed batched backend is the
+    natural owner of those knobs.  ``num_worlds`` defaults to
+    ``mc_simulations`` so snapshot noise is comparable to the MC noise
+    the algorithm was configured for.
+    """
+    if isinstance(spec, SpreadOracle):
+        return spec
+    if spec is None:
+        wants_batched = (mc_batch or 0) > 1 or (mc_workers or 0) > 1
+        spec = "batched" if wants_batched else "serial"
+    name = str(spec).lower()
+    if name in ("serial", "sequential"):
+        return SequentialMCOracle(graph, model, mc_simulations, rng)
+    if name in ("batched", "mc"):
+        return BatchedMCOracle(
+            graph,
+            model,
+            mc_simulations,
+            rng,
+            batch=mc_batch or DEFAULT_MC_BATCH,
+            workers=mc_workers,
+        )
+    worlds = num_worlds if num_worlds is not None else mc_simulations
+    if name == "snapshot":
+        return SnapshotOracle(graph, model, worlds, rng, budget=budget)
+    if name == "sketch":
+        return SketchOracle(
+            graph, model, worlds, rng, budget=budget, sketch_k=sketch_k
+        )
+    raise ValueError(
+        f"unknown spread oracle {spec!r}; options: {', '.join(ORACLE_BACKENDS)}"
+    )

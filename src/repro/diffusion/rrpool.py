@@ -35,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.digraph import DiGraph
+from ._frontier import gather_csr as _gather_csr
 from .models import Dynamics
 
 __all__ = ["FlatRRPool", "greedy_max_cover", "random_rr_set"]
@@ -124,21 +125,6 @@ def _sample_rr_chunk(
         parts.append(nodes)
     flat = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
     return lengths, flat, widths
-
-
-def _gather_csr(ptr: np.ndarray, data: np.ndarray, ids: np.ndarray) -> np.ndarray:
-    """Concatenate the CSR slices ``data[ptr[i]:ptr[i+1]]`` for ``i in ids``."""
-    if ids.size == 0:
-        return np.empty(0, dtype=data.dtype)
-    starts = ptr[ids]
-    lens = ptr[ids + 1] - starts
-    total = int(lens.sum())
-    if total == 0:
-        return np.empty(0, dtype=data.dtype)
-    within = np.arange(total, dtype=np.int64) - np.repeat(
-        np.cumsum(lens) - lens, lens
-    )
-    return data[np.repeat(starts, lens) + within]
 
 
 class FlatRRPool:

@@ -20,11 +20,13 @@ import numpy as np
 
 from ..graph.digraph import DiGraph
 from ._frontier import gather_edges
+from .models import Dynamics
 
 __all__ = [
     "Snapshot",
     "generate_ic_snapshot",
     "generate_lt_snapshot",
+    "sample_live_masks",
     "strongly_connected_components",
 ]
 
@@ -93,6 +95,38 @@ def generate_lt_snapshot(graph: DiGraph, rng: np.random.Generator) -> Snapshot:
     live = np.zeros(graph.m, dtype=bool)
     live[graph._in_perm[np.nonzero(live_in)[0]]] = True
     return Snapshot(graph, live)
+
+
+def sample_live_masks(
+    graph: DiGraph,
+    dynamics: Dynamics,
+    count: int,
+    rng: np.random.Generator,
+    budget=None,
+) -> np.ndarray:
+    """Presample ``count`` live-edge worlds as one ``count×m`` boolean matrix.
+
+    The single sampling point shared by StaticGreedy, PMC and the snapshot
+    spread oracle.  Worlds are drawn row by row (one ``rng`` draw per
+    world), so the stream matches ``count`` sequential calls of the
+    per-snapshot generators exactly — swapping a per-world loop for this
+    helper cannot change a seeded run.  ``budget`` (anything with
+    ``check()``) is ticked once per world, mirroring the cooperative
+    budget convention of :meth:`FlatRRPool.extend`.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    masks = np.empty((count, graph.m), dtype=bool)
+    for i in range(count):
+        if budget is not None:
+            budget.check()
+        if dynamics is Dynamics.IC:
+            masks[i] = rng.random(graph.m) < graph.out_w
+        elif dynamics is Dynamics.LT:
+            masks[i] = generate_lt_snapshot(graph, rng).live
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unsupported dynamics {dynamics!r}")
+    return masks
 
 
 def strongly_connected_components(snapshot: Snapshot) -> np.ndarray:

@@ -39,6 +39,10 @@ class MCConvergencePoint:
     simulations: int
     mean: float
     std_of_mean: float
+    #: Average within-run standard error (``SpreadEstimate.stderr``) — the
+    #: analytic counterpart of the empirical across-repeat deviation; the
+    #: two tracking each other is the Fig.-12 sanity check.
+    stderr: float = 0.0
 
 
 def mc_convergence_study(
@@ -58,16 +62,17 @@ def mc_convergence_study(
     rng = np.random.default_rng() if rng is None else rng
     points = []
     for r in simulation_counts:
-        means = [
-            monte_carlo_spread(graph, seeds, model, r=r, rng=rng).mean
+        estimates = [
+            monte_carlo_spread(graph, seeds, model, r=r, rng=rng)
             for __ in range(repeats)
         ]
-        arr = np.asarray(means)
+        arr = np.asarray([e.mean for e in estimates])
         points.append(
             MCConvergencePoint(
                 simulations=r,
                 mean=float(arr.mean()),
                 std_of_mean=float(arr.std(ddof=1)) if repeats > 1 else 0.0,
+                stderr=float(np.mean([e.stderr for e in estimates])),
             )
         )
     return points

@@ -56,6 +56,10 @@ class SweepConfig:
     isolate: bool = False
     #: Attempts per cell for transient FAILED/KILLED statuses.
     retries: int = 1
+    #: Execution shape of the decoupled MC scoring pass: fan simulations
+    #: over a process pool and/or run them through the batched kernels.
+    mc_workers: int | None = None
+    mc_batch: int | None = None
 
     def execution(self) -> tuple[IsolationConfig, RetryPolicy]:
         return (
@@ -74,6 +78,7 @@ def _score(graph, record: RunRecord, model, config: SweepConfig) -> None:
         estimate = monte_carlo_spread(
             graph, record.seeds, model, r=config.mc_simulations,
             rng=np.random.default_rng(config.seed + 1),
+            workers=config.mc_workers, batch=config.mc_batch,
         )
         record.spread = estimate.mean
         record.spread_std = estimate.std

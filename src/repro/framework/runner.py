@@ -114,6 +114,18 @@ class IMFramework:
         draw from different streams than serial ones, the value is part
         of each journal cell key — cells journaled at one worker count
         are not silently reused at another.
+    mc_workers / mc_batch:
+        Execution shape of the decoupled spread estimate (Sec. 5.1's
+        10K-simulation protocol): fan the simulations over a process pool
+        and/or run them through the batched multi-cascade kernels.  Both
+        are also injected into the constructor of every technique that
+        accepts them (the MC greedy family), like ``rr_workers``.
+    spread_oracle:
+        σ(S) backend name (see :data:`repro.diffusion.ORACLE_BACKENDS`)
+        injected into every technique that accepts it.  Oracle-backed
+        runs draw from different streams than the legacy per-cascade
+        path, so the value lands in the spectrum params and therefore in
+        each journal cell key.
     """
 
     def __init__(
@@ -130,6 +142,9 @@ class IMFramework:
         journal: CheckpointJournal | str | os.PathLike | None = None,
         journal_scope: str | None = None,
         rr_workers: int | None = None,
+        mc_workers: int | None = None,
+        mc_batch: int | None = None,
+        spread_oracle: str | None = None,
     ) -> None:
         self.graph = graph
         self.model = model
@@ -148,6 +163,9 @@ class IMFramework:
         self.journal = journal
         self.journal_scope = journal_scope
         self.rr_workers = rr_workers
+        self.mc_workers = mc_workers
+        self.mc_batch = mc_batch
+        self.spread_oracle = spread_oracle
 
     # ------------------------------------------------------------------
 
@@ -188,7 +206,7 @@ class IMFramework:
         if record.ok:
             estimate = monte_carlo_spread(
                 self.graph, record.seeds, self.model, r=self.mc_simulations,
-                rng=mc_rng,
+                rng=mc_rng, workers=self.mc_workers, batch=self.mc_batch,
             )
             record.spread = estimate.mean
             record.spread_std = estimate.std
@@ -211,14 +229,22 @@ class IMFramework:
         """
         rng = np.random.default_rng() if rng is None else rng
         spectrum = list(parameter_spectrum) if parameter_spectrum else [{}]
-        if (
-            self.rr_workers is not None
-            and self.rr_workers > 1
-            and registry.accepts_parameter(algorithm_name, "rr_workers")
-        ):
-            spectrum = [
-                {"rr_workers": self.rr_workers, **params} for params in spectrum
-            ]
+        injected: dict[str, Any] = {}
+        if self.rr_workers is not None and self.rr_workers > 1:
+            injected["rr_workers"] = self.rr_workers
+        if self.mc_workers is not None and self.mc_workers > 1:
+            injected["mc_workers"] = self.mc_workers
+        if self.mc_batch is not None and self.mc_batch > 1:
+            injected["mc_batch"] = self.mc_batch
+        if self.spread_oracle is not None:
+            injected["spread_oracle"] = self.spread_oracle
+        injected = {
+            name: value
+            for name, value in injected.items()
+            if registry.accepts_parameter(algorithm_name, name)
+        }
+        if injected:
+            spectrum = [{**injected, **params} for params in spectrum]
         trace = FrameworkTrace(algorithm=algorithm_name, model=self.model.name, k=k)
         best_estimate: SpreadEstimate | None = None
         for i, params in enumerate(spectrum):

@@ -1,0 +1,273 @@
+"""Unit tests for the batched cascade kernels and the spread-oracle layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import registry
+from repro.diffusion import oracle as oracle_mod
+from repro.diffusion._frontier import expand_slices, gather_csr, gather_edges
+from repro.diffusion.batched import (
+    batched_cascades,
+    simulate_ic_batch,
+    simulate_lt_batch,
+)
+from repro.diffusion.models import Dynamics, WC
+from repro.diffusion.oracle import (
+    BatchedMCOracle,
+    GainCache,
+    SequentialMCOracle,
+    SketchOracle,
+    SnapshotOracle,
+    make_oracle,
+)
+from repro.diffusion.simulation import monte_carlo_spread
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import build, powerlaw_configuration
+
+
+@pytest.fixture
+def sure_line():
+    """0 -> 1 -> 2 -> 3 with weight 1.0: every cascade activates everything."""
+    return DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)], weights=[1.0, 1.0, 1.0])
+
+
+@pytest.fixture
+def dead_line():
+    """0 -> 1 -> 2 with weight 0.0: no cascade ever leaves the seeds."""
+    return DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[0.0, 0.0])
+
+
+@pytest.fixture(scope="module")
+def small_powerlaw():
+    rng = np.random.default_rng(404)
+    return WC.weighted(build(powerlaw_configuration(80, 2.3, 4.0, rng)), rng)
+
+
+class TestFrontierHelpers:
+    def test_empty_frontier_fast_path(self, sure_line):
+        assert expand_slices(sure_line.out_ptr, np.empty(0, dtype=np.int64)).size == 0
+        assert gather_edges(sure_line.out_ptr, []).size == 0
+
+    def test_expand_slices_matches_manual(self, small_powerlaw):
+        graph = small_powerlaw
+        nodes = np.array([0, 3, 17, 40], dtype=np.int64)
+        manual = np.concatenate(
+            [
+                np.arange(graph.out_ptr[v], graph.out_ptr[v + 1], dtype=np.int64)
+                for v in nodes
+            ]
+        )
+        np.testing.assert_array_equal(expand_slices(graph.out_ptr, nodes), manual)
+
+    def test_gather_csr_matches_fancy_index(self, small_powerlaw):
+        graph = small_powerlaw
+        nodes = np.array([1, 2, 5], dtype=np.int64)
+        idx = expand_slices(graph.out_ptr, nodes)
+        np.testing.assert_array_equal(
+            gather_csr(graph.out_ptr, graph.out_dst, nodes), graph.out_dst[idx]
+        )
+
+
+class TestBatchedKernels:
+    def test_ic_sure_edges_activate_everything(self, sure_line, rng):
+        active = simulate_ic_batch(sure_line, [0], rng, batch=5)
+        assert active.shape == (5, 4)
+        assert active.all()
+
+    def test_ic_dead_edges_stay_at_seeds(self, dead_line, rng):
+        active = simulate_ic_batch(dead_line, [0], rng, batch=4)
+        np.testing.assert_array_equal(active.sum(axis=1), np.ones(4))
+        assert active[:, 0].all()
+
+    def test_lt_sure_edges_activate_everything(self, sure_line, rng):
+        # In-weight 1.0 >= theta for any theta drawn from [0, 1).
+        active = simulate_lt_batch(sure_line, [0], rng, batch=5)
+        assert active.all()
+
+    def test_empty_seed_set(self, sure_line, rng):
+        for fn in (simulate_ic_batch, simulate_lt_batch):
+            assert not fn(sure_line, [], rng, batch=3).any()
+
+    def test_batch_must_be_positive(self, sure_line, rng):
+        with pytest.raises(ValueError):
+            simulate_ic_batch(sure_line, [0], rng, batch=0)
+        with pytest.raises(ValueError):
+            batched_cascades(sure_line, [0], Dynamics.LT, rng, 0)
+
+    def test_lt_threshold_shape_validated(self, sure_line, rng):
+        with pytest.raises(ValueError):
+            simulate_lt_batch(sure_line, [0], rng, batch=2, thresholds=np.zeros(4))
+
+    def test_mc_batch_composes_with_ragged_r(self, small_powerlaw):
+        # r not a multiple of batch still yields exactly r samples.
+        est, samples = monte_carlo_spread(
+            small_powerlaw, [0, 3], Dynamics.IC, r=23,
+            rng=np.random.default_rng(8), batch=10, return_samples=True,
+        )
+        assert samples.shape == (23,)
+        assert est.simulations == 23
+
+    def test_mc_batch_must_be_positive(self, small_powerlaw):
+        with pytest.raises(ValueError):
+            monte_carlo_spread(
+                small_powerlaw, [0], Dynamics.IC, r=5,
+                rng=np.random.default_rng(1), batch=0,
+            )
+
+    def test_single_sample_std_is_finite(self, small_powerlaw):
+        est = monte_carlo_spread(
+            small_powerlaw, [0], Dynamics.IC, r=1, rng=np.random.default_rng(2)
+        )
+        assert est.std == 0.0
+        assert np.isfinite(est.stderr)
+
+
+class TestOracleBackends:
+    def test_serial_oracle_preserves_rng_stream(self, small_powerlaw):
+        oracle = SequentialMCOracle(
+            small_powerlaw, Dynamics.IC, 40, np.random.default_rng(3)
+        )
+        value = oracle.gain(2)
+        expected = monte_carlo_spread(
+            small_powerlaw, [2], Dynamics.IC, r=40, rng=np.random.default_rng(3)
+        ).mean
+        assert value == expected
+        assert oracle.evaluations == 1
+
+    def test_batched_oracle_is_repeatable(self, small_powerlaw):
+        oracle = BatchedMCOracle(
+            small_powerlaw, Dynamics.IC, 40, np.random.default_rng(3), batch=16
+        )
+        first = oracle.evaluate([1, 4])
+        second = oracle.evaluate([4, 1])  # order-insensitive key
+        assert first == second
+        assert oracle.evaluations == 1  # the repeat was served from cache
+
+    def test_snapshot_commit_matches_evaluate(self, small_powerlaw):
+        oracle = SnapshotOracle(
+            small_powerlaw, Dynamics.IC, 60, np.random.default_rng(5)
+        )
+        for v in (0, 7, 13):
+            oracle.commit(v)
+        # Sum of per-world marginals must equal the world-average sigma of
+        # the committed set — the covered-mask blocking is exact.
+        assert oracle.committed_sigma == pytest.approx(
+            oracle.evaluate([0, 7, 13]), abs=1e-12
+        )
+
+    def test_snapshot_exact_on_deterministic_graph(self, sure_line):
+        oracle = SnapshotOracle(sure_line, Dynamics.IC, 8, np.random.default_rng(1))
+        assert oracle.evaluate([0]) == 4.0
+        assert oracle.gain(1) == 3.0
+        oracle.commit(0)
+        assert oracle.gain(1) == 0.0  # everything already covered
+
+    def test_sketch_bound_dominates_gain_when_exact(self, sure_line):
+        # sketch_k > n: every sketch holds all ranks, so the estimate is
+        # the exact reach count and the bound dominates any marginal gain.
+        oracle = SketchOracle(
+            sure_line, Dynamics.IC, 8, np.random.default_rng(1), sketch_k=16
+        )
+        for v in range(sure_line.n):
+            assert oracle.gain_bound(v) >= oracle.gain(v)
+
+    def test_make_oracle_resolution(self, small_powerlaw):
+        rng = np.random.default_rng(0)
+        assert isinstance(
+            make_oracle(None, small_powerlaw, Dynamics.IC, rng, mc_simulations=10),
+            SequentialMCOracle,
+        )
+        assert isinstance(
+            make_oracle(
+                None, small_powerlaw, Dynamics.IC, rng,
+                mc_simulations=10, mc_batch=8,
+            ),
+            BatchedMCOracle,
+        )
+        with pytest.raises(ValueError, match="unknown spread oracle"):
+            make_oracle("bogus", small_powerlaw, Dynamics.IC, rng, mc_simulations=10)
+
+
+class TestGainCache:
+    def test_deterministic_backend_hits(self, small_powerlaw):
+        oracle = BatchedMCOracle(
+            small_powerlaw, Dynamics.IC, 20, np.random.default_rng(3), batch=8
+        )
+        cache = GainCache()
+        first = cache.gain(oracle, 5)
+        second = cache.gain(oracle, 5)
+        assert first == second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_commit_invalidates_by_key(self, small_powerlaw):
+        oracle = BatchedMCOracle(
+            small_powerlaw, Dynamics.IC, 20, np.random.default_rng(3), batch=8
+        )
+        cache = GainCache()
+        cache.gain(oracle, 5)
+        oracle.commit(9, 0.0)
+        cache.gain(oracle, 5)  # new committed set -> new key -> miss
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_stochastic_backend_bypasses(self, small_powerlaw):
+        oracle = SequentialMCOracle(
+            small_powerlaw, Dynamics.IC, 20, np.random.default_rng(3)
+        )
+        cache = GainCache()
+        cache.gain(oracle, 5)
+        cache.gain(oracle, 5)
+        assert (cache.hits, cache.misses) == (0, 2)
+        assert oracle.evaluations == 2  # every query re-simulates
+
+
+class TestAlgorithmsWithOracles:
+    @pytest.mark.parametrize("name", ["GREEDY", "CELF", "CELF++"])
+    @pytest.mark.parametrize("backend", ["batched", "snapshot", "sketch"])
+    def test_backends_produce_valid_selections(self, small_powerlaw, name, backend):
+        algo = registry.make(
+            name, mc_simulations=20, spread_oracle=backend,
+            mc_batch=16, num_worlds=20,
+        )
+        result = algo.select(small_powerlaw, 4, WC, rng=np.random.default_rng(9))
+        assert len(result.seeds) == 4
+        assert result.extras["spread_oracle"] == backend
+        assert result.extras["sigma_evaluations"] > 0
+        assert result.extras["estimated_spread"] > 0
+
+    def test_default_path_reports_serial_backend(self, small_powerlaw):
+        result = registry.make("CELF", mc_simulations=5).select(
+            small_powerlaw, 2, WC, rng=np.random.default_rng(9)
+        )
+        assert result.extras["spread_oracle"] == "serial"
+        assert result.extras["gain_cache_hits"] == 0
+
+    def test_celfpp_lookahead_becomes_cache_hits(self, small_powerlaw):
+        # mg2 is stored under (S u {cur_best}, v); once cur_best is picked,
+        # v's next re-lookup is served from the memo.
+        result = registry.make(
+            "CELF++", mc_simulations=20, spread_oracle="batched", mc_batch=16
+        ).select(small_powerlaw, 5, WC, rng=np.random.default_rng(9))
+        assert result.extras["gain_cache_hits"] > 0
+
+    def test_sketch_backend_skips_initial_scan(self, small_powerlaw):
+        full = registry.make(
+            "CELF", mc_simulations=20, spread_oracle="snapshot", num_worlds=20
+        ).select(small_powerlaw, 3, WC, rng=np.random.default_rng(9))
+        lazy = registry.make(
+            "CELF", mc_simulations=20, spread_oracle="sketch", num_worlds=20
+        ).select(small_powerlaw, 3, WC, rng=np.random.default_rng(9))
+        assert (
+            lazy.extras["sigma_evaluations"] < full.extras["sigma_evaluations"]
+        )
+
+    def test_invalid_oracle_knobs_rejected(self):
+        for kwargs in (
+            {"mc_batch": 0},
+            {"mc_workers": 0},
+            {"num_worlds": 0},
+            {"mc_simulations": 0},
+        ):
+            with pytest.raises(ValueError):
+                registry.make("CELF", **kwargs)
