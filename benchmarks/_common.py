@@ -58,6 +58,10 @@ MEMORY_LIMIT_MB = 300.0
 #   REPRO_BENCH_SPREAD_ORACLE=name
 #                             sigma(S) backend injected into techniques
 #                             that accept it (serial/batched/snapshot/sketch)
+#   REPRO_BENCH_PATH_WORKERS=n
+#                             parallel structure builds in the path-proxy
+#                             engine (PMIA/LDAG/IRIE/SIMPATH); deterministic,
+#                             so results are identical at any worker count
 BENCH_ISOLATE = os.environ.get("REPRO_BENCH_ISOLATE", "") == "1"
 BENCH_RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "1") or "1")
 BENCH_RESUME = os.environ.get("REPRO_BENCH_RESUME", "") == "1"
@@ -65,6 +69,7 @@ BENCH_RR_WORKERS = int(os.environ.get("REPRO_BENCH_RR_WORKERS", "0") or "0")
 BENCH_MC_WORKERS = int(os.environ.get("REPRO_BENCH_MC_WORKERS", "0") or "0")
 BENCH_MC_BATCH = int(os.environ.get("REPRO_BENCH_MC_BATCH", "0") or "0")
 BENCH_SPREAD_ORACLE = os.environ.get("REPRO_BENCH_SPREAD_ORACLE", "") or None
+BENCH_PATH_WORKERS = int(os.environ.get("REPRO_BENCH_PATH_WORKERS", "0") or "0")
 JOURNAL_DIR = RESULTS_DIR / "journals"
 
 #: Per-algorithm constructor parameters scaled for pure Python.  epsilon /
@@ -111,6 +116,8 @@ def scaled_params(name: str, model: PropagationModel | None = None, **overrides)
         params["mc_batch"] = BENCH_MC_BATCH
     if BENCH_SPREAD_ORACLE and accepts_parameter(name, "spread_oracle"):
         params["spread_oracle"] = BENCH_SPREAD_ORACLE
+    if BENCH_PATH_WORKERS > 1 and accepts_parameter(name, "path_workers"):
+        params["path_workers"] = BENCH_PATH_WORKERS
     params.update(overrides)
     return params
 

@@ -103,23 +103,47 @@ def test_fig10ab_table4_ldag_vs_simpath(benchmark):
 
 
 def test_fig10ab_quality_parity(benchmark):
-    """Both techniques produce comparable spread (the race is about time)."""
+    """Comparable spread (the race is about time) + path-engine speedup.
+
+    The quality column doubles as the parity check for the vectorized
+    path-proxy engine: LDAG is run on both engines, the seed sets must be
+    identical, and the elapsed times give the engine's speedup on the
+    Table-4 workload.
+    """
 
     def experiment():
+        import time
+
         graph = weighted_dataset("nethept", LT)
         spreads = {}
-        for name in ("LDAG", "SIMPATH"):
-            res = registry.make(name).select(
+        engine_times = {}
+        seeds = {}
+        for engine in ("legacy", "flat"):
+            start = time.perf_counter()
+            res = registry.make("LDAG", engine=engine).select(
                 graph, 25, LT, rng=np.random.default_rng(3)
             )
-            spreads[name] = evaluate_spread(graph, res.seeds, LT).mean
-        return spreads
+            engine_times[engine] = time.perf_counter() - start
+            seeds[engine] = res.seeds
+        spreads["LDAG"] = evaluate_spread(graph, seeds["flat"], LT).mean
+        res = registry.make("SIMPATH").select(
+            graph, 25, LT, rng=np.random.default_rng(3)
+        )
+        spreads["SIMPATH"] = evaluate_spread(graph, res.seeds, LT).mean
+        return spreads, engine_times, seeds
 
-    spreads = once(benchmark, experiment)
+    spreads, engine_times, seeds = once(benchmark, experiment)
+    speedup = engine_times["legacy"] / engine_times["flat"]
     emit(
         "fig10ab_quality_parity",
-        "\n".join(f"{n}: spread {v:.1f}" for n, v in spreads.items()),
+        "\n".join(f"{n}: spread {v:.1f}" for n, v in spreads.items())
+        + (
+            f"\nLDAG path engine: legacy {engine_times['legacy']:.2f}s, "
+            f"flat {engine_times['flat']:.2f}s (x{speedup:.2f}), "
+            f"identical seeds: {seeds['flat'] == seeds['legacy']}"
+        ),
     )
+    assert seeds["flat"] == seeds["legacy"]
     assert abs(spreads["LDAG"] - spreads["SIMPATH"]) < 0.2 * max(
         spreads.values()
     )

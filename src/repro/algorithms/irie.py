@@ -24,6 +24,7 @@ from typing import Any
 
 import numpy as np
 
+from ..diffusion import paths
 from ..diffusion.models import Dynamics, PropagationModel
 from ..graph.digraph import DiGraph
 from .base import Budget, IMAlgorithm
@@ -42,13 +43,14 @@ def max_probability_paths(
     """
     best: dict[int, float] = {source: 1.0}
     heap: list[tuple[float, int]] = [(-1.0, source)]
-    settled: set[int] = set()
     while heap:
         neg_pp, u = heapq.heappop(heap)
         pp = -neg_pp
-        if u in settled:
+        # Stale duplicate entries carry a pp below the final best[u]
+        # (push values strictly increase per node); comparing against
+        # best skips them without a settled-set membership probe.
+        if pp < best[u]:
             continue
-        settled.add(u)
         dst, w = graph.out_neighbors(u)
         for v, wv in zip(dst, w):
             v = int(v)
@@ -70,13 +72,27 @@ class IRIE(IMAlgorithm):
     external_parameter = None
 
     def __init__(
-        self, alpha: float = 0.7, iterations: int = 20, ap_threshold: float = 1.0 / 320.0
+        self,
+        alpha: float = 0.7,
+        iterations: int = 20,
+        ap_threshold: float = 1.0 / 320.0,
+        engine: str = "flat",
+        path_workers: int | None = None,
     ) -> None:
         if not 0.0 < alpha < 1.0:
             raise ValueError("alpha must be in (0, 1)")
+        if engine not in ("flat", "legacy"):
+            raise ValueError("engine must be 'flat' or 'legacy'")
         self.alpha = alpha
         self.iterations = iterations
         self.ap_threshold = ap_threshold
+        #: "flat" runs the IE step on the path-proxy kernel (bit-identical
+        #: pp values); "legacy" keeps the dict/heap reference helper.
+        self.engine = engine
+        #: Accepted for injection uniformity with the other proxy
+        #: techniques; the IE step is single-source, so the kernel never
+        #: actually fans out (results are identical either way).
+        self.path_workers = path_workers
 
     def _rank(
         self,
@@ -108,13 +124,27 @@ class IRIE(IMAlgorithm):
         for __ in range(k):
             self._tick(budget)
             rank = self._rank(graph, ap, edge_src)
-            rank[in_seed] = -np.inf
-            v = int(rank.argmax())
+            # Deterministic tie-break: argmax over the masked ranks returns
+            # the *first* maximal entry, i.e. the lowest node id on ties
+            # (symmetric graphs produce exactly equal ranks).
+            v = int(np.where(in_seed, -np.inf, rank).argmax())
             seeds.append(v)
             in_seed[v] = True
             ap[v] = 1.0
             # IE step: fold the new seed's reach into AP along max-prob paths.
-            for u, pp in max_probability_paths(graph, v, self.ap_threshold).items():
-                if not in_seed[u]:
-                    ap[u] = 1.0 - (1.0 - ap[u]) * (1.0 - pp)
+            if self.engine == "flat":
+                batch = paths.batched_max_prob_paths(
+                    graph, np.array([v], dtype=np.int64), self.ap_threshold,
+                    workers=self.path_workers,
+                )
+                sl = batch.slice(0)
+                nodes = batch.node[sl.start + 1:sl.stop]  # source excluded
+                pps = batch.pp[sl.start + 1:sl.stop]
+                keep = ~in_seed[nodes]
+                u = nodes[keep]
+                ap[u] = 1.0 - (1.0 - ap[u]) * (1.0 - pps[keep])
+            else:
+                for u, pp in max_probability_paths(graph, v, self.ap_threshold).items():
+                    if not in_seed[u]:
+                        ap[u] = 1.0 - (1.0 - ap[u]) * (1.0 - pp)
         return seeds, {}

@@ -27,6 +27,7 @@ from typing import Any
 
 import numpy as np
 
+from ..diffusion import paths
 from ..diffusion.models import Dynamics, PropagationModel
 from ..graph.digraph import DiGraph
 from .base import Budget, IMAlgorithm
@@ -73,7 +74,10 @@ def build_ldag(graph: DiGraph, root: int, eta: float) -> _LocalDAG:
     while heap:
         neg_pp, x = heapq.heappop(heap)
         pp = -neg_pp
-        if x in settle_rank:
+        # Stale entries (superseded by a later strict improvement) carry
+        # pp < best[x]; the comparison skips them without a settled-set
+        # membership probe (push values strictly increase per node).
+        if pp < best[x]:
             continue
         settle_rank[x] = len(settle_rank)
         src, w = graph.in_neighbors(x)
@@ -105,10 +109,21 @@ class LDAG(IMAlgorithm):
     supported = (Dynamics.LT,)
     external_parameter = None
 
-    def __init__(self, eta: float = 1.0 / 320.0) -> None:
+    def __init__(
+        self,
+        eta: float = 1.0 / 320.0,
+        engine: str = "flat",
+        path_workers: int | None = None,
+    ) -> None:
         if not 0.0 < eta <= 1.0:
             raise ValueError("eta must be in (0, 1]")
+        if engine not in ("flat", "legacy"):
+            raise ValueError("engine must be 'flat' or 'legacy'")
         self.eta = eta
+        #: "flat" runs on the batched path-proxy engine (bit-identical
+        #: seeds); "legacy" keeps the per-root dict/heap reference path.
+        self.engine = engine
+        self.path_workers = path_workers
 
     # -- per-DAG dynamic programs ------------------------------------
 
@@ -166,6 +181,8 @@ class LDAG(IMAlgorithm):
         rng: np.random.Generator,
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
+        if self.engine == "flat":
+            return self._select_flat(graph, k, budget)
         in_seed = np.zeros(graph.n, dtype=bool)
         dags: list[_LocalDAG] = []
         containing: list[list[int]] = [[] for __ in range(graph.n)]
@@ -203,6 +220,51 @@ class LDAG(IMAlgorithm):
                 per_dag_gain[idx] = gains
                 for u, g in gains.items():
                     inc_inf[u] += g
+        return seeds, {
+            "eta": self.eta,
+            "total_dag_nodes": total_dag_nodes,
+            "avg_dag_size": total_dag_nodes / max(graph.n, 1),
+        }
+
+    def _select_flat(
+        self,
+        graph: DiGraph,
+        k: int,
+        budget: Budget | None,
+    ) -> tuple[list[int], dict[str, Any]]:
+        """Engine path: batched LDAG builds + vectorized LT sweeps.
+
+        Same greedy as the legacy loop with identical float accumulation
+        order; the DAG topology is static (no prefix exclusion), so each
+        round only re-sweeps the dirty structures from ``containing``.
+        """
+        def tick() -> None:
+            self._tick(budget)
+
+        in_seed = np.zeros(graph.n, dtype=bool)
+        store = paths.build_dag_store(
+            graph, self.eta, workers=self.path_workers, tick=tick
+        )
+        inc_inf = np.zeros(graph.n, dtype=np.float64)
+        per_gain = store.gains(list(range(len(store))), in_seed)
+        for nodes, g in per_gain:
+            np.add.at(inc_inf, nodes, g)
+
+        seeds: list[int] = []
+        total_dag_nodes = int(store.sizes().sum())
+        for __ in range(k):
+            self._tick(budget)
+            masked = np.where(in_seed, -np.inf, inc_inf)
+            s = int(masked.argmax())
+            seeds.append(s)
+            in_seed[s] = True
+            dirty = store.dirty(s)
+            new_gains = store.gains(dirty, in_seed)
+            for idx, (nodes, g) in zip(dirty, new_gains):
+                old_nodes, old_g = per_gain[idx]
+                np.subtract.at(inc_inf, old_nodes, old_g)
+                np.add.at(inc_inf, nodes, g)
+                per_gain[idx] = (nodes, g)
         return seeds, {
             "eta": self.eta,
             "total_dag_nodes": total_dag_nodes,

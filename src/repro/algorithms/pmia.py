@@ -33,6 +33,7 @@ from typing import Any
 
 import numpy as np
 
+from ..diffusion import paths
 from ..diffusion.models import Dynamics, PropagationModel
 from ..graph.digraph import DiGraph
 from .base import Budget, IMAlgorithm
@@ -85,14 +86,16 @@ def build_miia(
     parent: dict[int, int] = {}
     weight: dict[int, float] = {}
     settle_order: list[int] = []
-    settled: set[int] = set()
     heap: list[tuple[float, int]] = [(-1.0, root)]
     while heap:
         neg_pp, x = heapq.heappop(heap)
         pp = -neg_pp
-        if x in settled:
+        # A node is pushed once per strict improvement, so stale entries
+        # carry a pp below the final best[x]; comparing against best skips
+        # them without a separate settled set (pushed values are strictly
+        # increasing, so the equality fires exactly once per node).
+        if pp < best[x]:
             continue
-        settled.add(x)
         settle_order.append(x)
         if blocked is not None and blocked[x] and x != root:
             continue  # a seed conducts nothing further upstream
@@ -119,10 +122,21 @@ class PMIA(IMAlgorithm):
     supported = (Dynamics.IC,)
     external_parameter = None
 
-    def __init__(self, theta: float = 1.0 / 320.0) -> None:
+    def __init__(
+        self,
+        theta: float = 1.0 / 320.0,
+        engine: str = "flat",
+        path_workers: int | None = None,
+    ) -> None:
         if not 0.0 < theta <= 1.0:
             raise ValueError("theta must be in (0, 1]")
+        if engine not in ("flat", "legacy"):
+            raise ValueError("engine must be 'flat' or 'legacy'")
         self.theta = theta
+        #: "flat" runs on the batched path-proxy engine (bit-identical
+        #: seeds); "legacy" keeps the per-root dict/heap reference path.
+        self.engine = engine
+        self.path_workers = path_workers
 
     # -- tree dynamic programs -----------------------------------------
 
@@ -194,6 +208,8 @@ class PMIA(IMAlgorithm):
         rng: np.random.Generator,
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
+        if self.engine == "flat":
+            return self._select_flat(graph, k, budget)
         in_seed = np.zeros(graph.n, dtype=bool)
         arbs: list[_Arborescence] = []
         containing: list[set[int]] = [set() for __ in range(graph.n)]
@@ -243,4 +259,51 @@ class PMIA(IMAlgorithm):
             "avg_arborescence_size": float(
                 np.mean([len(a.order) for a in arbs])
             ),
+        }
+
+    def _select_flat(
+        self,
+        graph: DiGraph,
+        k: int,
+        budget: Budget | None,
+    ) -> tuple[list[int], dict[str, Any]]:
+        """Engine path: batched MIIA builds + vectorized tree DPs.
+
+        Structurally the same greedy as the legacy loop — identical float
+        expressions in identical accumulation order — with the per-root
+        Dijkstra/dict walks replaced by the flat path-proxy engine and
+        each round's prefix-exclusion rebuild batched over the dirty
+        roots from the ``containing`` inverted index.
+        """
+        def tick() -> None:
+            self._tick(budget)
+
+        in_seed = np.zeros(graph.n, dtype=bool)
+        store = paths.build_tree_store(
+            graph, self.theta, workers=self.path_workers, tick=tick
+        )
+        inc_inf = np.zeros(graph.n, dtype=np.float64)
+        per_gain = store.gains(list(range(len(store))), in_seed)
+        for nodes, g in per_gain:
+            np.add.at(inc_inf, nodes, g)
+
+        seeds: list[int] = []
+        for __ in range(k):
+            self._tick(budget)
+            s = int(np.where(in_seed, -np.inf, inc_inf).argmax())
+            seeds.append(s)
+            in_seed[s] = True
+            dirty = store.dirty(s)
+            store.rebuild(dirty, in_seed, tick=tick)
+            new_gains = store.gains(dirty, in_seed)
+            # Swap contributions per structure in index order, exactly the
+            # legacy subtract-old / add-new interleaving.
+            for idx, (nodes, g) in zip(dirty, new_gains):
+                old_nodes, old_g = per_gain[idx]
+                np.subtract.at(inc_inf, old_nodes, old_g)
+                np.add.at(inc_inf, nodes, g)
+                per_gain[idx] = (nodes, g)
+        return seeds, {
+            "theta": self.theta,
+            "avg_arborescence_size": float(store.sizes().mean()),
         }

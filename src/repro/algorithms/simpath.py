@@ -6,7 +6,9 @@ Under LT, the spread of a set decomposes over simple paths:
 
 (the empty path contributes 1 — the seed itself).  SIMPATH-SPREAD
 enumerates simple paths by backtracking DFS, pruning any prefix whose
-weight falls below η (default 1e-3).
+weight falls below η (default 1e-3).  The enumeration keeps its prefix
+bookkeeping in flat parallel stacks (node / cursor / slice end / prefix
+weight indexed by depth) rather than per-frame objects.
 
 Seed selection is CELF-style with two of the original's optimizations:
 
@@ -15,15 +17,31 @@ Seed selection is CELF-style with two of the original's optimizations:
   σ^{V−x}(S) = σ(S) − through(x) comes for free;
 * look-ahead: the top-ℓ queue candidates are (re-)evaluated per iteration.
 
-The vertex-cover start-up trick is omitted (it changes constants, not
-output).  The behaviour the paper diagnoses in M5 is reproduced: under
-LT-uniform the edge weights are large on low-degree graphs, the pruned
-path forest explodes, and SIMPATH falls far behind LDAG — it only looks
-competitive under the parallel-edges LT weighting of its own evaluation.
+The original's third optimization, the vertex-cover start-up, is
+available as an opt-in (``vertex_cover=True``): only nodes of a
+deterministic maximal-matching cover C are enumerated directly, and for
+u ∉ C (whose out-neighbors all lie in C)
+
+    σ(u) = 1 + Σ_{(u,v) ∈ E} w(u,v) · (σ(v) − through_v(u)),
+
+with through_v(u) collected during v's enumeration.  It stays off by
+default because the η-pruning then happens from v's perspective (paths
+are kept when their v-suffix clears η, not the full u-path), which
+perturbs the initial CELF ranking — opting in trades byte-identical
+seeds for skipping the |V| − |C| start-up enumerations.  ``path_workers``
+fans the start-up σ pass over a process pool (the per-source
+enumerations are independent and deterministic, so the result is
+identical at any worker count).
+
+The behaviour the paper diagnoses in M5 is reproduced: under LT-uniform
+the edge weights are large on low-degree graphs, the pruned path forest
+explodes, and SIMPATH falls far behind LDAG — it only looks competitive
+under the parallel-edges LT weighting of its own evaluation.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
 import heapq
@@ -32,10 +50,11 @@ import itertools
 import numpy as np
 
 from ..diffusion.models import Dynamics, PropagationModel
+from ..diffusion.paths import _worker_chunks
 from ..graph.digraph import DiGraph
 from .base import Budget, IMAlgorithm
 
-__all__ = ["SIMPATH", "simpath_spread"]
+__all__ = ["SIMPATH", "simpath_spread", "vertex_cover"]
 
 
 def simpath_spread(
@@ -53,19 +72,23 @@ def simpath_spread(
     ``through[x]`` for each non-source node x on it.
     """
     total = 1.0
-    on_path = np.zeros(graph.n, dtype=bool)
-    on_path[source] = True
     out_ptr, out_dst, out_w = graph.out_ptr, graph.out_dst, graph.out_w
-    # Explicit stack of (node, edge cursor, prefix weight); ``path`` holds
-    # the nodes of the current prefix in order.
-    stack: list[list[float]] = [[source, out_ptr[source], 1.0]]
-    path: list[int] = [source]
+    on_path = bytearray(graph.n)
+    on_path[source] = 1
+    # Flat parallel stacks indexed by depth; slots are reused across
+    # backtracks instead of being reallocated.  ``path`` holds the nodes
+    # of the current prefix in order.
+    s_node = [source]
+    s_cur = [int(out_ptr[source])]
+    s_hi = [int(out_ptr[source + 1])]
+    s_w = [1.0]
+    path = [source]
+    depth = 0
     steps = 0
-    while stack:
-        node, cursor, weight = stack[-1]
-        node = int(node)
-        cursor = int(cursor)
-        hi = int(out_ptr[node + 1])
+    while depth >= 0:
+        cursor = s_cur[depth]
+        hi = s_hi[depth]
+        weight = s_w[depth]
         advanced = False
         while cursor < hi:
             steps += 1
@@ -83,17 +106,89 @@ def simpath_spread(
                 for x in path[1:]:
                     through[x] += pw
                 through[v] += pw
-            stack[-1][1] = cursor
-            on_path[v] = True
-            stack.append([v, out_ptr[v], pw])
+            s_cur[depth] = cursor
+            on_path[v] = 1
+            depth += 1
+            if depth == len(s_node):
+                s_node.append(v)
+                s_cur.append(int(out_ptr[v]))
+                s_hi.append(int(out_ptr[v + 1]))
+                s_w.append(pw)
+            else:
+                s_node[depth] = v
+                s_cur[depth] = int(out_ptr[v])
+                s_hi[depth] = int(out_ptr[v + 1])
+                s_w[depth] = pw
             path.append(v)
             advanced = True
             break
         if not advanced:
-            stack.pop()
+            on_path[s_node[depth]] = 0
             path.pop()
-            on_path[node] = False
+            depth -= 1
     return total
+
+
+def vertex_cover(graph: DiGraph) -> np.ndarray:
+    """Deterministic maximal-matching vertex cover (boolean mask).
+
+    Edges are scanned in CSR order; whenever neither endpoint is covered
+    yet, both join the cover.  Every edge therefore has at least one
+    covered endpoint, so the complement is an independent set whose
+    out-neighbors all lie in the cover.
+    """
+    cov = bytearray(graph.n)
+    ptr = graph.out_ptr.tolist()
+    dst = graph.out_dst.tolist()
+    for u in range(graph.n):
+        for e in range(ptr[u], ptr[u + 1]):
+            if cov[u]:
+                break
+            v = dst[e]
+            if not cov[v]:
+                cov[u] = 1
+                cov[v] = 1
+    return np.frombuffer(bytes(cov), dtype=np.uint8).astype(bool)
+
+
+def _sigma_plain(graph: DiGraph, nodes: np.ndarray, eta: float,
+                 budget: Any = None) -> np.ndarray:
+    """σ(v) for each v in ``nodes`` over the full graph (worker-safe)."""
+    allowed = np.ones(graph.n, dtype=bool)
+    return np.array([
+        simpath_spread(graph, int(v), allowed, eta, budget=budget)
+        for v in nodes
+    ], dtype=np.float64)
+
+
+def _sigma_cover(graph: DiGraph, vnodes: np.ndarray, eta: float,
+                 cov: np.ndarray, budget: Any = None
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """σ(v) for covered nodes plus the independent-set contributions.
+
+    Returns ``(sigmas, contrib)`` where ``contrib[u]`` accumulates
+    ``w(u,v) · (σ(v) − through_v(u))`` over the processed v for every
+    uncovered in-neighbor u — summable across chunks, so the pass fans
+    out cleanly.
+    """
+    n = graph.n
+    allowed = np.ones(n, dtype=bool)
+    in_ptr, in_src, in_w = graph.in_ptr, graph.in_src, graph.in_w
+    sig = np.zeros(len(vnodes), dtype=np.float64)
+    contrib = np.zeros(n, dtype=np.float64)
+    tv = np.zeros(n, dtype=np.float64)
+    for i, v in enumerate(vnodes):
+        v = int(v)
+        tv[:] = 0.0
+        sv = simpath_spread(graph, v, allowed, eta, through=tv, budget=budget)
+        sig[i] = sv
+        lo, hi = int(in_ptr[v]), int(in_ptr[v + 1])
+        us = in_src[lo:hi]
+        keep = ~cov[us]
+        if keep.any():
+            um = us[keep]
+            contrib[um] += in_w[lo:hi][keep] * (sv - tv[um])
+    return sig, contrib
 
 
 class SIMPATH(IMAlgorithm):
@@ -103,13 +198,68 @@ class SIMPATH(IMAlgorithm):
     supported = (Dynamics.LT,)
     external_parameter = None
 
-    def __init__(self, eta: float = 1e-3, lookahead: int = 4) -> None:
+    def __init__(self, eta: float = 1e-3, lookahead: int = 4,
+                 vertex_cover: bool = False,
+                 path_workers: int | None = None) -> None:
         if not 0.0 < eta <= 1.0:
             raise ValueError("eta must be in (0, 1]")
         if lookahead < 1:
             raise ValueError("lookahead must be positive")
         self.eta = eta
         self.lookahead = lookahead
+        self.vertex_cover = vertex_cover
+        self.path_workers = path_workers
+
+    def _initial_sigmas(self, graph: DiGraph, budget: Budget | None) -> np.ndarray:
+        """The start-up σ(v) pass: direct, cover-based, and/or fanned out."""
+        n = graph.n
+        workers = self.path_workers
+        if self.vertex_cover:
+            cov = vertex_cover(graph)
+            vnodes = np.flatnonzero(cov)
+            sigma = np.ones(n, dtype=np.float64)  # the empty path
+            if workers is not None and workers > 1 and vnodes.size > 1:
+                spans = _worker_chunks(vnodes.size, workers)
+                with ProcessPoolExecutor(max_workers=len(spans)) as pool:
+                    futures = [
+                        pool.submit(_sigma_cover, graph, vnodes[lo:hi],
+                                    self.eta, cov)
+                        for lo, hi in spans
+                    ]
+                    contrib = np.zeros(n, dtype=np.float64)
+                    sig_parts = []
+                    for future in futures:
+                        sig, part = future.result()
+                        sig_parts.append(sig)
+                        contrib += part
+                        self._tick(budget)
+                sigma[vnodes] = np.concatenate(sig_parts)
+            else:
+                sig, contrib = _sigma_cover(graph, vnodes, self.eta, cov,
+                                            budget=budget)
+                sigma[vnodes] = sig
+            rest = ~cov
+            sigma[rest] += contrib[rest]
+            return sigma
+        if workers is not None and workers > 1 and n > 1:
+            spans = _worker_chunks(n, workers)
+            nodes = np.arange(n, dtype=np.int64)
+            with ProcessPoolExecutor(max_workers=len(spans)) as pool:
+                futures = [
+                    pool.submit(_sigma_plain, graph, nodes[lo:hi], self.eta)
+                    for lo, hi in spans
+                ]
+                parts = []
+                for future in futures:
+                    parts.append(future.result())
+                    self._tick(budget)
+            return np.concatenate(parts)
+        allowed = np.ones(n, dtype=bool)
+        sigma = np.zeros(n, dtype=np.float64)
+        for v in range(n):
+            self._tick(budget)
+            sigma[v] = simpath_spread(graph, v, allowed, self.eta, budget=budget)
+        return sigma
 
     def _select(
         self,
@@ -120,15 +270,12 @@ class SIMPATH(IMAlgorithm):
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
         n = graph.n
-        allowed = np.ones(n, dtype=bool)
         counter = itertools.count()
-        cached = np.zeros(n, dtype=np.float64)
+        sigma0 = self._initial_sigmas(graph, budget)
+        cached = sigma0.copy()
         heap: list[tuple[float, int, int, int]] = []
         for v in range(n):
-            self._tick(budget)
-            sigma_v = simpath_spread(graph, v, allowed, self.eta, budget=budget)
-            cached[v] = sigma_v
-            heapq.heappush(heap, (-sigma_v, next(counter), v, 0))
+            heapq.heappush(heap, (-float(sigma0[v]), next(counter), v, 0))
 
         seeds: list[int] = []
         in_seed = np.zeros(n, dtype=bool)
@@ -170,4 +317,8 @@ class SIMPATH(IMAlgorithm):
                 gain = (sigma_s - through[x] + sigma_x) - sigma_s
                 cached[x] = gain
                 heapq.heappush(heap, (-gain, next(counter), x, len(seeds)))
-        return seeds, {"eta": self.eta, "lookahead": self.lookahead}
+        return seeds, {
+            "eta": self.eta,
+            "lookahead": self.lookahead,
+            "vertex_cover": self.vertex_cover,
+        }

@@ -100,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "the selection oracle (when accepted) and the "
                           "scoring estimate; matches --rr-workers for the "
                           "sketch family")
+    sel.add_argument("--path-workers", type=int, default=None, metavar="N",
+                     help="processes for the path-proxy engine's batched "
+                          "structure builds; only meaningful for the path "
+                          "family (PMIA/LDAG/IRIE/SIMPATH), ignored "
+                          "elsewhere; the engine is deterministic, so the "
+                          "selected seeds are identical at any worker count")
     sel.add_argument("--seed", type=int, default=0, help="RNG seed")
     sel.add_argument("--time-limit", type=float, default=None)
     sel.add_argument("--memory-limit-mb", type=float, default=None)
@@ -165,6 +171,12 @@ def _cmd_select(args) -> int:
         else:
             print(f"note: {args.algorithm} does not take a spread oracle; "
                   "--spread-oracle ignored")
+    if args.path_workers is not None and args.path_workers > 1:
+        if algorithms.registry.accepts_parameter(args.algorithm, "path_workers"):
+            params.setdefault("path_workers", args.path_workers)
+        else:
+            print(f"note: {args.algorithm} does not build path structures; "
+                  "--path-workers ignored")
     for flag, name in (("mc_batch", "--mc-batch"), ("mc_workers", "--mc-workers")):
         value = getattr(args, flag)
         if value is not None and value > 1:

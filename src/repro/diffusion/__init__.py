@@ -38,6 +38,16 @@ from .oracle import (
     SpreadOracle,
     make_oracle,
 )
+from .paths import (
+    DagStore,
+    LocalDag,
+    LocalTree,
+    PathBatch,
+    TreeStore,
+    batched_max_prob_paths,
+    build_dag_store,
+    build_tree_store,
+)
 from .opinion import (
     OpinionEstimate,
     assign_opinions,
@@ -85,7 +95,15 @@ __all__ = [
     "assign_opinions",
     "monte_carlo_opinion_spread",
     "simulate_opinion_spread",
+    "DagStore",
     "FlatRRPool",
+    "LocalDag",
+    "LocalTree",
+    "PathBatch",
+    "TreeStore",
+    "batched_max_prob_paths",
+    "build_dag_store",
+    "build_tree_store",
     "RRCollection",
     "greedy_max_cover",
     "greedy_max_cover_legacy",

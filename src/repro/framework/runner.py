@@ -126,6 +126,15 @@ class IMFramework:
         runs draw from different streams than the legacy per-cascade
         path, so the value lands in the spectrum params and therefore in
         each journal cell key.
+    path_workers:
+        When > 1, injected into every technique that accepts it (the
+        path-proxy family: PMIA / LDAG / IRIE / SIMPATH), fanning the
+        batched structure builds over a process pool.  The path engine
+        is deterministic — results are identical at any worker count —
+        so, unlike ``rr_workers``, the value carries no journal-key
+        implications (it still lands in the spectrum params, which is
+        harmless but means cells journaled with and without fan-out are
+        keyed apart).
     """
 
     def __init__(
@@ -145,6 +154,7 @@ class IMFramework:
         mc_workers: int | None = None,
         mc_batch: int | None = None,
         spread_oracle: str | None = None,
+        path_workers: int | None = None,
     ) -> None:
         self.graph = graph
         self.model = model
@@ -166,6 +176,7 @@ class IMFramework:
         self.mc_workers = mc_workers
         self.mc_batch = mc_batch
         self.spread_oracle = spread_oracle
+        self.path_workers = path_workers
 
     # ------------------------------------------------------------------
 
@@ -238,6 +249,8 @@ class IMFramework:
             injected["mc_batch"] = self.mc_batch
         if self.spread_oracle is not None:
             injected["spread_oracle"] = self.spread_oracle
+        if self.path_workers is not None and self.path_workers > 1:
+            injected["path_workers"] = self.path_workers
         injected = {
             name: value
             for name, value in injected.items()

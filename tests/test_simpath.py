@@ -109,3 +109,45 @@ class TestSelection:
             SIMPATH(eta=0.0)
         with pytest.raises(ValueError):
             SIMPATH(lookahead=0)
+
+
+class TestVertexCover:
+    def random_graph(self, seed=4, n=25, m=70):
+        rng = np.random.default_rng(seed)
+        g = DiGraph.from_arrays(n, rng.integers(0, n, m), rng.integers(0, n, m))
+        return LT.weighted(g)
+
+    def test_cover_touches_every_edge(self):
+        from repro.algorithms.simpath import vertex_cover
+
+        g = self.random_graph()
+        cov = vertex_cover(g)
+        for u, v, __ in g.edges():
+            assert cov[u] or cov[v]
+
+    def test_uncovered_out_neighbors_lie_in_cover(self):
+        from repro.algorithms.simpath import vertex_cover
+
+        g = self.random_graph()
+        cov = vertex_cover(g)
+        for u, v, __ in g.edges():
+            if not cov[u]:
+                assert cov[v]
+
+    def test_covered_sigmas_exact(self):
+        # Covered nodes are enumerated directly, so their sigma must equal
+        # the plain per-node enumeration bit for bit.
+        from repro.algorithms.simpath import _sigma_cover, vertex_cover
+
+        g = self.random_graph()
+        cov = vertex_cover(g)
+        vnodes = np.flatnonzero(cov)
+        sig, __ = _sigma_cover(g, vnodes, 1e-3, cov)
+        for i, v in enumerate(vnodes):
+            assert sig[i] == simpath_spread(g, int(v), all_allowed(g.n), 1e-3)
+
+    def test_vertex_cover_mode_selects_valid_seeds(self, rng):
+        g = self.random_graph()
+        res = SIMPATH(vertex_cover=True).select(g, 3, LT, rng=rng)
+        assert len(set(res.seeds)) == 3
+        assert res.extras["vertex_cover"] is True
