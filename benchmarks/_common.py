@@ -34,6 +34,7 @@ from repro.framework import (
     RetryPolicy,
     cell_key,
     execute_cell,
+    write_trace,
 )
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -62,6 +63,10 @@ MEMORY_LIMIT_MB = 300.0
 #                             parallel structure builds in the path-proxy
 #                             engine (PMIA/LDAG/IRIE/SIMPATH); deterministic,
 #                             so results are identical at any worker count
+#   REPRO_BENCH_TRACE=path    collect per-cell telemetry (phase spans and
+#                             engine counters) and append it as JSONL to
+#                             the given file; summarize with
+#                             ``python -m repro trace path``
 BENCH_ISOLATE = os.environ.get("REPRO_BENCH_ISOLATE", "") == "1"
 BENCH_RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "1") or "1")
 BENCH_RESUME = os.environ.get("REPRO_BENCH_RESUME", "") == "1"
@@ -70,6 +75,7 @@ BENCH_MC_WORKERS = int(os.environ.get("REPRO_BENCH_MC_WORKERS", "0") or "0")
 BENCH_MC_BATCH = int(os.environ.get("REPRO_BENCH_MC_BATCH", "0") or "0")
 BENCH_SPREAD_ORACLE = os.environ.get("REPRO_BENCH_SPREAD_ORACLE", "") or None
 BENCH_PATH_WORKERS = int(os.environ.get("REPRO_BENCH_PATH_WORKERS", "0") or "0")
+BENCH_TRACE = os.environ.get("REPRO_BENCH_TRACE", "") or None
 JOURNAL_DIR = RESULTS_DIR / "journals"
 
 #: Per-algorithm constructor parameters scaled for pure Python.  epsilon /
@@ -182,11 +188,15 @@ def run_cell(
             time_limit_seconds=time_limit,
             memory_limit_mb=memory_limit_mb,
             track_memory=memory_limit_mb is not None,
+            telemetry=BENCH_TRACE is not None,
         ),
         retry=RetryPolicy(max_attempts=max(1, BENCH_RETRIES)),
     )
     if score is not None and record.ok:
         score(record)
+    if BENCH_TRACE is not None:
+        write_trace(BENCH_TRACE, record.extras.get("telemetry"),
+                    cell=key, record=record)
     if journal is not None:
         journal.record(key, record)
     return record

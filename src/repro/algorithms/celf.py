@@ -44,6 +44,14 @@ __all__ = ["CELF", "CELFpp"]
 _BOUND_ROUND = -1
 
 
+def _tele():
+    # Lazy: algorithms are imported by the registry during framework
+    # import, so a top-level framework import here would be circular.
+    from ..framework.telemetry import current
+
+    return current()
+
+
 class CELF(SpreadOracleMixin, IMAlgorithm):
     """Cost-Effective Lazy Forward selection."""
 
@@ -73,46 +81,52 @@ class CELF(SpreadOracleMixin, IMAlgorithm):
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
         oracle, cache = self._build_oracle(graph, model, rng, budget)
+        tele = _tele()
         counter = itertools.count()
         heap: list[tuple[float, int, int, int]] = []  # (-gain, tiebreak, node, round)
         cached = np.zeros(graph.n, dtype=np.float64)
         lookups = [0]
-        if oracle.provides_bounds:
-            # Sketch backend: enqueue cheap upper bounds; a bound entry is
-            # never picked directly — its first pop evaluates for real.
-            for v in range(graph.n):
-                bound = oracle.gain_bound(v)
-                cached[v] = bound
-                heapq.heappush(heap, (-bound, next(counter), v, _BOUND_ROUND))
-        else:
-            for v in range(graph.n):
+        with tele.span("celf.build_queue"):
+            if oracle.provides_bounds:
+                # Sketch backend: enqueue cheap upper bounds; a bound entry is
+                # never picked directly — its first pop evaluates for real.
+                for v in range(graph.n):
+                    bound = oracle.gain_bound(v)
+                    cached[v] = bound
+                    heapq.heappush(heap, (-bound, next(counter), v, _BOUND_ROUND))
+            else:
+                for v in range(graph.n):
+                    self._tick(budget)
+                    before = cache.misses
+                    gain = cache.gain(oracle, v)
+                    cached[v] = gain
+                    lookups[0] += cache.misses - before
+                    heapq.heappush(heap, (-gain, next(counter), v, 0))
+
+        seeds: list[int] = []
+        in_seed = np.zeros(graph.n, dtype=bool)
+        stale_pops = 0
+        with tele.span("celf.lazy_forward"):
+            while heap and len(seeds) < k:
+                neg_gain, __, v, round_tag = heapq.heappop(heap)
+                if in_seed[v] or -neg_gain != cached[v]:
+                    stale_pops += 1
+                    continue  # stale duplicate entry
+                if round_tag == len(seeds):
+                    # Gain is fresh for the current seed set: pick it.
+                    seeds.append(v)
+                    in_seed[v] = True
+                    oracle.commit(v, -neg_gain)
+                    if len(lookups) <= len(seeds) and len(seeds) < k:
+                        lookups.append(0)
+                    continue
                 self._tick(budget)
                 before = cache.misses
                 gain = cache.gain(oracle, v)
                 cached[v] = gain
-                lookups[0] += cache.misses - before
-                heapq.heappush(heap, (-gain, next(counter), v, 0))
-
-        seeds: list[int] = []
-        in_seed = np.zeros(graph.n, dtype=bool)
-        while heap and len(seeds) < k:
-            neg_gain, __, v, round_tag = heapq.heappop(heap)
-            if in_seed[v] or -neg_gain != cached[v]:
-                continue  # stale duplicate entry
-            if round_tag == len(seeds):
-                # Gain is fresh for the current seed set: pick it.
-                seeds.append(v)
-                in_seed[v] = True
-                oracle.commit(v, -neg_gain)
-                if len(lookups) <= len(seeds) and len(seeds) < k:
-                    lookups.append(0)
-                continue
-            self._tick(budget)
-            before = cache.misses
-            gain = cache.gain(oracle, v)
-            cached[v] = gain
-            lookups[-1] += cache.misses - before
-            heapq.heappush(heap, (-gain, next(counter), v, len(seeds)))
+                lookups[-1] += cache.misses - before
+                heapq.heappush(heap, (-gain, next(counter), v, len(seeds)))
+        tele.count("celf.stale_pops", stale_pops)
         return seeds, {
             "node_lookups_per_iteration": lookups[: max(len(seeds), 1)],
             "estimated_spread": oracle.committed_sigma,
@@ -149,6 +163,7 @@ class CELFpp(SpreadOracleMixin, IMAlgorithm):
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
         oracle, cache = self._build_oracle(graph, model, rng, budget)
+        tele = _tele()
         counter = itertools.count()
         # Entry state per node: mg1 (gain wrt S), prev_best (the best node
         # seen when mg1 was computed), mg2 (gain wrt S + prev_best), flag
@@ -162,65 +177,70 @@ class CELFpp(SpreadOracleMixin, IMAlgorithm):
         lookups = [0]
         cur_best = -1
         cur_best_gain = -np.inf
-        for v in range(graph.n):
-            self._tick(budget)
-            before = cache.misses
-            mg1[v] = cache.gain(oracle, v)
-            lookups[0] += cache.misses - before
-            prev_best[v] = cur_best
-            if cur_best >= 0:
-                # Look-ahead: gain of v given the current front-runner is
-                # also computed now — the extra work CELF++ banks on.  Via
-                # the memo it becomes the hit serving v's next re-lookup.
-                mg2[v] = cache.gain(
-                    oracle, v, extra=[cur_best], extra_gain=cur_best_gain
-                )
-            else:
-                mg2[v] = mg1[v]
-            if mg1[v] > cur_best_gain:
-                cur_best_gain, cur_best = mg1[v], v
-            heapq.heappush(heap, (-mg1[v], next(counter), v))
+        with tele.span("celfpp.build_queue"):
+            for v in range(graph.n):
+                self._tick(budget)
+                before = cache.misses
+                mg1[v] = cache.gain(oracle, v)
+                lookups[0] += cache.misses - before
+                prev_best[v] = cur_best
+                if cur_best >= 0:
+                    # Look-ahead: gain of v given the current front-runner is
+                    # also computed now — the extra work CELF++ banks on.  Via
+                    # the memo it becomes the hit serving v's next re-lookup.
+                    mg2[v] = cache.gain(
+                        oracle, v, extra=[cur_best], extra_gain=cur_best_gain
+                    )
+                else:
+                    mg2[v] = mg1[v]
+                if mg1[v] > cur_best_gain:
+                    cur_best_gain, cur_best = mg1[v], v
+                heapq.heappush(heap, (-mg1[v], next(counter), v))
 
         seeds: list[int] = []
         last_seed = -1
         cur_best = -1
         cur_best_gain = -np.inf
         in_seed = np.zeros(graph.n, dtype=bool)
-        while heap and len(seeds) < k:
-            neg_gain, __, v = heapq.heappop(heap)
-            if in_seed[v] or -neg_gain != mg1[v]:
-                continue  # stale duplicate entry
-            if flag[v] == len(seeds):
-                seeds.append(v)
-                in_seed[v] = True
-                oracle.commit(v, mg1[v])
-                last_seed = v
-                cur_best, cur_best_gain = -1, -np.inf
-                if len(lookups) <= len(seeds) and len(seeds) < k:
-                    lookups.append(0)
-                continue
-            if prev_best[v] == last_seed and flag[v] == len(seeds) - 1:
-                # The saving: mg2 was computed against exactly this seed set.
-                # With a deterministic backend the look-ahead landed in the
-                # memo under this very (seed set, node) key, so the same
-                # answer comes back as a hit — still zero true evaluations.
-                mg1[v] = cache.gain(oracle, v) if oracle.deterministic else mg2[v]
-            else:
-                self._tick(budget)
-                before = cache.misses
-                mg1[v] = cache.gain(oracle, v)
-                lookups[-1] += cache.misses - before
-                prev_best[v] = cur_best
-                if cur_best >= 0 and cur_best != v:
-                    mg2[v] = cache.gain(
-                        oracle, v, extra=[cur_best], extra_gain=cur_best_gain
-                    )
+        stale_pops = 0
+        with tele.span("celfpp.lazy_forward"):
+            while heap and len(seeds) < k:
+                neg_gain, __, v = heapq.heappop(heap)
+                if in_seed[v] or -neg_gain != mg1[v]:
+                    stale_pops += 1
+                    continue  # stale duplicate entry
+                if flag[v] == len(seeds):
+                    seeds.append(v)
+                    in_seed[v] = True
+                    oracle.commit(v, mg1[v])
+                    last_seed = v
+                    cur_best, cur_best_gain = -1, -np.inf
+                    if len(lookups) <= len(seeds) and len(seeds) < k:
+                        lookups.append(0)
+                    continue
+                if prev_best[v] == last_seed and flag[v] == len(seeds) - 1:
+                    # The saving: mg2 was computed against exactly this seed set.
+                    # With a deterministic backend the look-ahead landed in the
+                    # memo under this very (seed set, node) key, so the same
+                    # answer comes back as a hit — still zero true evaluations.
+                    mg1[v] = cache.gain(oracle, v) if oracle.deterministic else mg2[v]
                 else:
-                    mg2[v] = mg1[v]
-            flag[v] = len(seeds)
-            if mg1[v] > cur_best_gain:
-                cur_best_gain, cur_best = mg1[v], v
-            heapq.heappush(heap, (-mg1[v], next(counter), v))
+                    self._tick(budget)
+                    before = cache.misses
+                    mg1[v] = cache.gain(oracle, v)
+                    lookups[-1] += cache.misses - before
+                    prev_best[v] = cur_best
+                    if cur_best >= 0 and cur_best != v:
+                        mg2[v] = cache.gain(
+                            oracle, v, extra=[cur_best], extra_gain=cur_best_gain
+                        )
+                    else:
+                        mg2[v] = mg1[v]
+                flag[v] = len(seeds)
+                if mg1[v] > cur_best_gain:
+                    cur_best_gain, cur_best = mg1[v], v
+                heapq.heappush(heap, (-mg1[v], next(counter), v))
+        tele.count("celfpp.stale_pops", stale_pops)
         return seeds, {
             "node_lookups_per_iteration": lookups[: max(len(seeds), 1)],
             "estimated_spread": oracle.committed_sigma,

@@ -26,6 +26,14 @@ from .base import Budget, IMAlgorithm, SpreadOracleMixin
 __all__ = ["Greedy"]
 
 
+def _tele():
+    # Lazy: algorithms are imported by the registry during framework
+    # import, so a top-level framework import here would be circular.
+    from ..framework.telemetry import current
+
+    return current()
+
+
 class Greedy(SpreadOracleMixin, IMAlgorithm):
     """Kempe et al.'s GREEDY with ``r`` MC simulations per estimate."""
 
@@ -55,29 +63,32 @@ class Greedy(SpreadOracleMixin, IMAlgorithm):
         budget: Budget | None,
     ) -> tuple[list[int], dict[str, Any]]:
         oracle, cache = self._build_oracle(graph, model, rng, budget)
+        tele = _tele()
         seeds: list[int] = []
         in_seed = np.zeros(graph.n, dtype=bool)
         lookups: list[int] = []
         bound_skips = 0
-        for __ in range(k):
-            best_v, best_gain = -1, -np.inf
-            before = cache.misses
-            for v in range(graph.n):
-                if in_seed[v]:
-                    continue
-                if oracle.provides_bounds and oracle.gain_bound(v) <= best_gain:
-                    bound_skips += 1
-                    continue
-                self._tick(budget)
-                gain = cache.gain(oracle, v)
-                if gain > best_gain:
-                    best_gain, best_v = gain, v
-            seeds.append(best_v)
-            in_seed[best_v] = True
-            oracle.commit(best_v, best_gain)
-            # True evaluations this iteration (memo hits don't count) —
-            # the M1 "node lookups" metric of Appendix C.
-            lookups.append(cache.misses - before)
+        with tele.span("greedy.hill_climb"):
+            for __ in range(k):
+                best_v, best_gain = -1, -np.inf
+                before = cache.misses
+                for v in range(graph.n):
+                    if in_seed[v]:
+                        continue
+                    if oracle.provides_bounds and oracle.gain_bound(v) <= best_gain:
+                        bound_skips += 1
+                        continue
+                    self._tick(budget)
+                    gain = cache.gain(oracle, v)
+                    if gain > best_gain:
+                        best_gain, best_v = gain, v
+                seeds.append(best_v)
+                in_seed[best_v] = True
+                oracle.commit(best_v, best_gain)
+                # True evaluations this iteration (memo hits don't count) —
+                # the M1 "node lookups" metric of Appendix C.
+                lookups.append(cache.misses - before)
+        tele.count("greedy.iterations", len(seeds))
         return seeds, {
             "node_lookups_per_iteration": lookups,
             "estimated_spread": oracle.committed_sigma,

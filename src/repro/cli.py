@@ -8,6 +8,7 @@ Commands
 ``select``                   run one technique on a dataset and score it
 ``tune``                     the Sec.-5.1.1 optimal-parameter procedure
 ``report``                   aggregate benchmarks/results into markdown
+``trace``                    summarize a JSONL telemetry trace
 
 Examples::
 
@@ -30,11 +31,15 @@ from .framework import (
     CheckpointJournal,
     IsolationConfig,
     RetryPolicy,
+    Telemetry,
+    activate,
     cell_key,
     execute_cell,
     recommend,
     render_report,
+    summarize_trace,
     tune_parameter,
+    write_trace,
 )
 
 __all__ = ["main", "build_parser"]
@@ -119,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--resume", default=None, metavar="JOURNAL",
                      help="JSONL checkpoint journal; a cell already recorded "
                           "there is not re-run")
+    sel.add_argument("--trace", default=None, metavar="PATH",
+                     help="append a JSONL telemetry trace (phase spans and "
+                          "engine counters) for this cell; summarize with "
+                          "'python -m repro trace PATH'")
 
     tune = sub.add_parser("tune", help="Sec.-5.1.1 parameter tuning")
     tune.add_argument("--dataset", required=True)
@@ -135,6 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results-dir", default="benchmarks/results")
     report.add_argument("--output", default=None,
                         help="write to a file instead of stdout")
+
+    trace = sub.add_parser("trace", help="summarize a JSONL telemetry trace")
+    trace.add_argument("path", help="trace file written via --trace or "
+                                    "REPRO_BENCH_TRACE")
     return parser
 
 
@@ -188,6 +201,7 @@ def _cmd_select(args) -> int:
     journal = CheckpointJournal(args.resume) if args.resume else None
     key = cell_key(args.algorithm, params, args.k,
                    model=args.model, scope=args.dataset)
+    tele = Telemetry(label=key) if args.trace else None
     if journal is not None and key in journal:
         record = journal.get(key)
         print(f"resumed   : cached {record.status} cell from {args.resume}")
@@ -203,23 +217,33 @@ def _cmd_select(args) -> int:
                 time_limit_seconds=args.time_limit,
                 memory_limit_mb=args.memory_limit_mb,
                 track_memory=args.memory_limit_mb is not None,
+                telemetry=tele is not None,
             ),
             retry=RetryPolicy(max_attempts=max(1, args.retries)),
         )
         if journal is not None:
             journal.record(key, record)
+    if tele is not None:
+        # Selection phases were collected inside the (possibly isolated)
+        # cell; fold its snapshot into this session's handle so scoring
+        # spans land in the same trace.
+        tele.absorb(record.extras.get("telemetry"))
     if not record.ok:
         line = f"{args.algorithm} on {args.dataset}/{args.model}: {record.status}"
         failure = record.extras.get("failure")
         if isinstance(failure, dict) and failure.get("type"):
             line += f" ({failure['type']})"
         print(line)
+        if tele is not None:
+            write_trace(args.trace, tele.snapshot(), cell=key, record=record)
+            print(f"trace     : {args.trace}")
         return 1
-    estimate = diffusion.monte_carlo_spread(
-        graph, record.seeds, model, r=args.mc,
-        rng=np.random.default_rng(args.seed + 1),
-        workers=args.mc_workers, batch=args.mc_batch,
-    )
+    with activate(tele) as t, t.span("score"):
+        estimate = diffusion.monte_carlo_spread(
+            graph, record.seeds, model, r=args.mc,
+            rng=np.random.default_rng(args.seed + 1),
+            workers=args.mc_workers, batch=args.mc_batch,
+        )
     print(f"algorithm : {args.algorithm}")
     print(f"dataset   : {args.dataset} ({graph.n} nodes, {graph.m} arcs)")
     print(f"model     : {args.model}")
@@ -227,6 +251,9 @@ def _cmd_select(args) -> int:
     print(f"time      : {record.elapsed_seconds:.3f}s")
     print(f"spread    : {estimate.mean:.1f} +/- {estimate.stderr:.1f} "
           f"({args.mc} simulations)")
+    if tele is not None:
+        events = write_trace(args.trace, tele.snapshot(), cell=key, record=record)
+        print(f"trace     : {args.trace} ({events} events)")
     return 0
 
 
@@ -245,6 +272,11 @@ def _cmd_tune(args) -> int:
         rng=np.random.default_rng(args.seed),
     )
     print(result.table())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    print(summarize_trace(args.path))
     return 0
 
 
@@ -268,6 +300,7 @@ def main(argv: list[str] | None = None) -> int:
         "select": lambda: _cmd_select(args),
         "tune": lambda: _cmd_tune(args),
         "report": lambda: _cmd_report(args),
+        "trace": lambda: _cmd_trace(args),
     }
     return handlers[args.command]()
 

@@ -36,6 +36,14 @@ __all__ = [
 ]
 
 
+def _tele():
+    # Lazy: a top-level framework import from diffusion would be circular
+    # (framework → runner → algorithm registry → diffusion engines).
+    from ..framework.telemetry import current
+
+    return current()
+
+
 def _union_frontier_edges(
     out_ptr: np.ndarray, frontier: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -69,10 +77,12 @@ def simulate_ic_batch(
     active[:, seeds] = True
     frontier = active.copy()
     out_ptr, out_dst, out_w = graph.out_ptr, graph.out_dst, graph.out_w
+    steps = 0
     while True:
         eidx, src = _union_frontier_edges(out_ptr, frontier)
         if eidx.size == 0:
             break
+        steps += 1
         dst = out_dst[eidx]
         coins = rng.random((batch, eidx.size))
         # A trial happens only in cascades whose frontier holds the source.
@@ -87,6 +97,9 @@ def simulate_ic_batch(
             break
         active |= newly
         frontier = newly
+    tele = _tele()
+    tele.count("batched.cascades", batch)
+    tele.count("batched.frontier_steps", steps)
     return active
 
 
@@ -123,10 +136,12 @@ def simulate_lt_batch(
     frontier = active.copy()
     out_ptr, out_dst, out_w = graph.out_ptr, graph.out_dst, graph.out_w
     n = graph.n
+    steps = 0
     while True:
         eidx, src = _union_frontier_edges(out_ptr, frontier)
         if eidx.size == 0:
             break
+        steps += 1
         dst = out_dst[eidx]
         b_idx, e_pos = np.nonzero(frontier[:, src])
         if b_idx.size == 0:
@@ -141,6 +156,9 @@ def simulate_lt_batch(
             break
         active |= newly
         frontier = newly
+    tele = _tele()
+    tele.count("batched.cascades", batch)
+    tele.count("batched.frontier_steps", steps)
     return active
 
 

@@ -67,6 +67,14 @@ ORACLE_BACKENDS = ("serial", "batched", "snapshot", "sketch")
 DEFAULT_MC_BATCH = 64
 
 
+def _tele():
+    # Lazy: a top-level framework import from diffusion would be circular
+    # (framework → runner → algorithm registry → diffusion engines).
+    from ..framework.telemetry import current
+
+    return current()
+
+
 def _dynamics_of(model: PropagationModel | Dynamics) -> Dynamics:
     return model.dynamics if isinstance(model, PropagationModel) else model
 
@@ -96,6 +104,10 @@ class SpreadOracle(abc.ABC):
         self.committed_sigma: float = 0.0
         #: True σ evaluations performed (the cost metric of Appendix C).
         self.evaluations: int = 0
+
+    def _tick_evaluation(self) -> None:
+        self.evaluations += 1
+        _tele().count("oracle.sigma_evaluations")
 
     @abc.abstractmethod
     def evaluate(self, nodes: Sequence[int]) -> float:
@@ -155,7 +167,7 @@ class SequentialMCOracle(SpreadOracle):
         self.rng = rng
 
     def evaluate(self, nodes: Sequence[int]) -> float:
-        self.evaluations += 1
+        self._tick_evaluation()
         return monte_carlo_spread(
             self.graph, list(nodes), self.model, r=self.r, rng=self.rng
         ).mean
@@ -217,7 +229,7 @@ class BatchedMCOracle(SpreadOracle):
             batch=self.batch,
             workers=self.workers,
         ).mean
-        self.evaluations += 1
+        self._tick_evaluation()
         self._sigma_cache[key] = value
         return value
 
@@ -260,9 +272,10 @@ class SnapshotOracle(SpreadOracle):
             raise ValueError("num_worlds must be positive")
         self.graph = graph
         self.num_worlds = int(num_worlds)
-        self.live = sample_live_masks(
-            graph, _dynamics_of(model), self.num_worlds, rng, budget=budget
-        )
+        with _tele().span("oracle.snapshot_sample"):
+            self.live = sample_live_masks(
+                graph, _dynamics_of(model), self.num_worlds, rng, budget=budget
+            )
         self.covered = np.zeros((self.num_worlds, graph.n), dtype=bool)
         self._sigma_cache: dict[tuple[int, ...], float] = {}
 
@@ -312,7 +325,7 @@ class SnapshotOracle(SpreadOracle):
         cached = self._sigma_cache.get(key)
         if cached is not None:
             return cached
-        self.evaluations += 1
+        self._tick_evaluation()
         blocked = np.zeros_like(self.covered)
         value = float(self._reach(key, blocked).sum()) / self.num_worlds
         self._sigma_cache[key] = value
@@ -321,7 +334,7 @@ class SnapshotOracle(SpreadOracle):
     def gain(
         self, v: int, extra: Sequence[int] = (), extra_gain: float = 0.0
     ) -> float:
-        self.evaluations += 1
+        self._tick_evaluation()
         blocked = self.covered
         if extra:
             blocked = blocked | self._reach(extra, self.covered)
@@ -417,7 +430,8 @@ class SketchOracle(SnapshotOracle):
             raise ValueError("sketch_k must be at least 2")
         self.sketch_k = int(sketch_k)
         self.slack = float(slack)
-        self._bounds = self._build_bounds(rng, budget)
+        with _tele().span("oracle.sketch_bounds"):
+            self._bounds = self._build_bounds(rng, budget)
 
     def _build_bounds(self, rng: np.random.Generator, budget) -> np.ndarray:
         graph, n = self.graph, self.graph.n
@@ -468,13 +482,16 @@ class GainCache:
     ) -> float:
         if not oracle.deterministic:
             self.misses += 1
+            _tele().count("oracle.gain_cache_misses")
             return oracle.gain(v, extra, extra_gain)
         key = (_seed_key(oracle.committed + list(extra)), int(v))
         cached = self._memo.get(key)
         if cached is not None:
             self.hits += 1
+            _tele().count("oracle.gain_cache_hits")
             return cached
         self.misses += 1
+        _tele().count("oracle.gain_cache_misses")
         value = oracle.gain(v, extra, extra_gain)
         self._memo[key] = value
         return value

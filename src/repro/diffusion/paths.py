@@ -80,6 +80,14 @@ __all__ = [
 _MAX_DENSE = 500_000
 
 
+def _tele():
+    # Lazy: a top-level framework import from diffusion would be circular
+    # (framework → runner → algorithm registry → diffusion engines).
+    from ..framework.telemetry import current
+
+    return current()
+
+
 def _scatter_max(pp: np.ndarray, keys: np.ndarray, vals: np.ndarray) -> np.ndarray:
     """Segmented max of ``vals`` into ``pp[keys]``; returns improved keys."""
     order = np.argsort(keys, kind="stable")
@@ -399,29 +407,33 @@ def batched_max_prob_paths(
     worker count.  ``tick`` is called between chunks (budget checks).
     """
     sources = np.asarray(sources, dtype=np.int64)
-    if workers is not None and workers > 1 and len(sources) > 1:
-        spans = _worker_chunks(len(sources), workers)
-        with ProcessPoolExecutor(max_workers=len(spans)) as pool:
-            futures = [
-                pool.submit(_kernel_chunk, graph, sources[lo:hi], threshold,
-                            reverse, blocked)
-                for lo, hi in spans
-            ]
-            parts = []
-            for future in futures:
-                parts.append(future.result())
-                if tick is not None:
-                    tick()
-        ptrs = [parts[0][0]]
-        for part in parts[1:]:
-            ptrs.append(part[0][1:] + ptrs[-1][-1])
-        merged = tuple([np.concatenate(ptrs)] + [
-            np.concatenate([part[j] for part in parts]) for j in range(1, 6)
-        ])
-    else:
-        merged = _kernel_chunk(graph, sources, threshold, reverse, blocked)
-        if tick is not None:
-            tick()
+    tele = _tele()
+    with tele.span("paths.dijkstra_batch"):
+        if workers is not None and workers > 1 and len(sources) > 1:
+            spans = _worker_chunks(len(sources), workers)
+            tele.count("paths.worker_chunks", len(spans))
+            with ProcessPoolExecutor(max_workers=len(spans)) as pool:
+                futures = [
+                    pool.submit(_kernel_chunk, graph, sources[lo:hi], threshold,
+                                reverse, blocked)
+                    for lo, hi in spans
+                ]
+                parts = []
+                for future in futures:
+                    parts.append(future.result())
+                    if tick is not None:
+                        tick()
+            ptrs = [parts[0][0]]
+            for part in parts[1:]:
+                ptrs.append(part[0][1:] + ptrs[-1][-1])
+            merged = tuple([np.concatenate(ptrs)] + [
+                np.concatenate([part[j] for part in parts]) for j in range(1, 6)
+            ])
+        else:
+            merged = _kernel_chunk(graph, sources, threshold, reverse, blocked)
+            if tick is not None:
+                tick()
+    tele.count("paths.dijkstra_sources", len(sources))
     return PathBatch(sources, threshold, *merged)
 
 
@@ -645,20 +657,23 @@ class TreeStore(_StoreBase):
                 tick: Callable[[], None] | None = None) -> None:
         """Re-derive the arborescences of ``idxs`` with ``blocked`` seeds
         banned from interior positions, updating ``containing``."""
-        roots = np.array([self.structures[i].root for i in idxs], dtype=np.int64)
-        batch = batched_max_prob_paths(
-            self.graph, roots, self.theta, reverse=True, blocked=blocked,
-            tick=tick,
-        )
-        for i, tree in zip(idxs, _trees_from_batch(batch)):
-            old = self.structures[i]
-            old_nodes = set(int(u) for u in old.nodes)
-            new_nodes = set(int(u) for u in tree.nodes)
-            for u in old_nodes - new_nodes:
-                self._containing_mutable(u).discard(i)
-            for u in new_nodes - old_nodes:
-                self._containing_mutable(u).add(i)
-            self.structures[i] = tree
+        tele = _tele()
+        with tele.span("paths.rebuild"):
+            roots = np.array([self.structures[i].root for i in idxs], dtype=np.int64)
+            batch = batched_max_prob_paths(
+                self.graph, roots, self.theta, reverse=True, blocked=blocked,
+                tick=tick,
+            )
+            for i, tree in zip(idxs, _trees_from_batch(batch)):
+                old = self.structures[i]
+                old_nodes = set(int(u) for u in old.nodes)
+                new_nodes = set(int(u) for u in tree.nodes)
+                for u in old_nodes - new_nodes:
+                    self._containing_mutable(u).discard(i)
+                for u in new_nodes - old_nodes:
+                    self._containing_mutable(u).add(i)
+                self.structures[i] = tree
+        tele.count("paths.structures_rebuilt", len(idxs))
 
     def gains(self, idxs: list[int], in_seed: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
         """Per-structure ``(nodes, gain)`` for non-seed members.
@@ -667,6 +682,10 @@ class TreeStore(_StoreBase):
         first (sibling misses multiplied in children order), alpha root
         first (total-miss / own-miss with the legacy tiny-miss fallback).
         """
+        with _tele().span("paths.ap_sweep"):
+            return self._gains(idxs, in_seed)
+
+    def _gains(self, idxs: list[int], in_seed: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
         trees = [self.structures[i] for i in idxs]
         sizes = np.array([len(t) for t in trees], dtype=np.int64)
         starts = np.concatenate(([0], np.cumsum(sizes)))
@@ -750,6 +769,10 @@ class DagStore(_StoreBase):
         inside each target); alpha: rank-ascending propagation stopping
         at seeds — both in legacy float-accumulation order.
         """
+        with _tele().span("paths.ap_sweep"):
+            return self._gains(idxs, in_seed)
+
+    def _gains(self, idxs: list[int], in_seed: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
         dags = [self.structures[i] for i in idxs]
         sizes = np.array([len(d) for d in dags], dtype=np.int64)
         starts = np.concatenate(([0], np.cumsum(sizes)))
@@ -808,11 +831,12 @@ def build_tree_store(
 ) -> TreeStore:
     """MIIA(v, θ) for every node of the graph, batched (and optionally
     fanned over a process pool)."""
-    batch = batched_max_prob_paths(
-        graph, np.arange(graph.n, dtype=np.int64), theta,
-        reverse=True, workers=workers, tick=tick,
-    )
-    return TreeStore(graph, theta, _trees_from_batch(batch), workers=workers)
+    with _tele().span("paths.build_structures"):
+        batch = batched_max_prob_paths(
+            graph, np.arange(graph.n, dtype=np.int64), theta,
+            reverse=True, workers=workers, tick=tick,
+        )
+        return TreeStore(graph, theta, _trees_from_batch(batch), workers=workers)
 
 
 def build_dag_store(
@@ -824,23 +848,26 @@ def build_dag_store(
 ) -> DagStore:
     """LDAG(v, η) for every node of the graph, batched (and optionally
     fanned over a process pool)."""
-    roots = np.arange(graph.n, dtype=np.int64)
-    if workers is not None and workers > 1 and graph.n > 1:
-        spans = _worker_chunks(graph.n, workers)
-        with ProcessPoolExecutor(max_workers=len(spans)) as pool:
-            futures = [
-                pool.submit(_dag_chunk, graph, roots[lo:hi], eta)
-                for lo, hi in spans
-            ]
-            dags: list[LocalDag] = []
-            for (lo, hi), future in zip(spans, futures):
-                flat, edges = future.result()
-                dags.extend(_dags_from_chunk(roots[lo:hi], flat, edges))
-                if tick is not None:
-                    tick()
-    else:
-        flat, edges = _dag_chunk(graph, roots, eta)
-        dags = _dags_from_chunk(roots, flat, edges)
-        if tick is not None:
-            tick()
+    tele = _tele()
+    with tele.span("paths.build_structures"):
+        roots = np.arange(graph.n, dtype=np.int64)
+        if workers is not None and workers > 1 and graph.n > 1:
+            spans = _worker_chunks(graph.n, workers)
+            tele.count("paths.worker_chunks", len(spans))
+            with ProcessPoolExecutor(max_workers=len(spans)) as pool:
+                futures = [
+                    pool.submit(_dag_chunk, graph, roots[lo:hi], eta)
+                    for lo, hi in spans
+                ]
+                dags: list[LocalDag] = []
+                for (lo, hi), future in zip(spans, futures):
+                    flat, edges = future.result()
+                    dags.extend(_dags_from_chunk(roots[lo:hi], flat, edges))
+                    if tick is not None:
+                        tick()
+        else:
+            flat, edges = _dag_chunk(graph, roots, eta)
+            dags = _dags_from_chunk(roots, flat, edges)
+            if tick is not None:
+                tick()
     return DagStore(graph, eta, dags, workers=workers)

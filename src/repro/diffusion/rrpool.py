@@ -41,6 +41,14 @@ from .models import Dynamics
 __all__ = ["FlatRRPool", "greedy_max_cover", "random_rr_set"]
 
 
+def _tele():
+    # Lazy: a top-level framework import from diffusion would be circular
+    # (framework → runner → algorithm registry → diffusion engines).
+    from ..framework.telemetry import current
+
+    return current()
+
+
 def random_rr_set(
     graph: DiGraph,
     dynamics: Dynamics,
@@ -213,14 +221,17 @@ class FlatRRPool:
         """
         if count <= 0:
             return
-        if workers is not None and workers > 1 and count > 1:
-            self._extend_parallel(graph, dynamics, count, rng, workers, budget)
-            return
-        for __ in range(count):
-            if budget is not None:
-                budget.check()
-            nodes, width = random_rr_set(graph, dynamics, rng)
-            self.add(nodes, width)
+        tele = _tele()
+        with tele.span("rrpool.sample"):
+            if workers is not None and workers > 1 and count > 1:
+                self._extend_parallel(graph, dynamics, count, rng, workers, budget)
+            else:
+                for __ in range(count):
+                    if budget is not None:
+                        budget.check()
+                    nodes, width = random_rr_set(graph, dynamics, rng)
+                    self.add(nodes, width)
+        tele.count("rrpool.rr_sets", count)
 
     def _extend_parallel(
         self,
@@ -238,6 +249,7 @@ class FlatRRPool:
         chunks[: count % workers] += 1
         chunks = chunks[chunks > 0]
         states = [{"entropy": base, "spawn_key": (i,)} for i in range(len(chunks))]
+        _tele().count("rrpool.worker_chunks", len(chunks))
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
             results = pool.map(
                 _sample_rr_chunk,
@@ -297,16 +309,17 @@ class FlatRRPool:
         argsort is stable), matching the legacy ``member_of`` lists.
         """
         if self._node_ptr is None:
-            self._compact()
-            set_ids = np.repeat(
-                np.arange(len(self), dtype=np.int64), np.diff(self._ptr)
-            )
-            order = np.argsort(self._nodes, kind="stable")
-            self._node_sets = set_ids[order]
-            counts = np.bincount(self._nodes, minlength=self.n)
-            node_ptr = np.zeros(self.n + 1, dtype=np.int64)
-            np.cumsum(counts, out=node_ptr[1:])
-            self._node_ptr = node_ptr
+            with _tele().span("rrpool.invert_index"):
+                self._compact()
+                set_ids = np.repeat(
+                    np.arange(len(self), dtype=np.int64), np.diff(self._ptr)
+                )
+                order = np.argsort(self._nodes, kind="stable")
+                self._node_sets = set_ids[order]
+                counts = np.bincount(self._nodes, minlength=self.n)
+                node_ptr = np.zeros(self.n + 1, dtype=np.int64)
+                np.cumsum(counts, out=node_ptr[1:])
+                self._node_ptr = node_ptr
         return self._node_ptr, self._node_sets
 
     def nodes_of(self, i: int) -> np.ndarray:
@@ -403,27 +416,28 @@ def greedy_max_cover(
     num_sets = len(pool)
     if num_sets == 0 or k <= 0:
         return [], 0.0
-    n = pool.n
-    set_ptr, set_nodes = pool.set_ptr, pool.set_nodes
-    node_ptr, node_sets = pool.node_index
-    count = np.bincount(set_nodes, minlength=n).astype(np.int64)
-    covered = np.zeros(num_sets, dtype=bool)
-    seeds: list[int] = []
-    for __ in range(min(k, n)):
-        v = int(count.argmax())
-        if count[v] <= 0:
-            priority = (
-                pad_priority
-                if pad_priority is not None
-                else pool.membership_counts()
-            )
-            pad_seeds(seeds, k, n, priority)
-            break
-        seeds.append(v)
-        ids = node_sets[node_ptr[v] : node_ptr[v + 1]]
-        newly = ids[~covered[ids]]
-        covered[newly] = True
-        members = _gather_csr(set_ptr, set_nodes, newly)
-        if members.size:
-            count -= np.bincount(members, minlength=n)
+    with _tele().span("rrpool.max_cover"):
+        n = pool.n
+        set_ptr, set_nodes = pool.set_ptr, pool.set_nodes
+        node_ptr, node_sets = pool.node_index
+        count = np.bincount(set_nodes, minlength=n).astype(np.int64)
+        covered = np.zeros(num_sets, dtype=bool)
+        seeds: list[int] = []
+        for __ in range(min(k, n)):
+            v = int(count.argmax())
+            if count[v] <= 0:
+                priority = (
+                    pad_priority
+                    if pad_priority is not None
+                    else pool.membership_counts()
+                )
+                pad_seeds(seeds, k, n, priority)
+                break
+            seeds.append(v)
+            ids = node_sets[node_ptr[v] : node_ptr[v + 1]]
+            newly = ids[~covered[ids]]
+            covered[newly] = True
+            members = _gather_csr(set_ptr, set_nodes, newly)
+            if members.size:
+                count -= np.bincount(members, minlength=n)
     return seeds[:k], float(covered.mean())

@@ -37,6 +37,14 @@ __all__ = [
 DEFAULT_MC_SIMULATIONS = 10_000
 
 
+def _tele():
+    # Lazy: a top-level framework import from diffusion would be circular
+    # (framework → runner → algorithm registry → diffusion engines).
+    from ..framework.telemetry import current
+
+    return current()
+
+
 def _simulate_chunk(
     graph: DiGraph,
     seeds: list[int],
@@ -149,14 +157,17 @@ def monte_carlo_spread(
     batch = 1 if batch is None else int(batch)
     if batch < 1:
         raise ValueError("batch must be positive")
-    if workers is not None and workers > 1:
-        samples = _parallel_samples(graph, seeds, dynamics, r, rng, workers, batch)
-    elif batch > 1:
-        samples = _batched_samples(graph, seeds, dynamics, r, rng, batch)
-    else:
-        samples = np.empty(r, dtype=np.float64)
-        for i in range(r):
-            samples[i] = simulate_spread(graph, seeds, dynamics, rng)
+    tele = _tele()
+    with tele.span("mc.spread"):
+        if workers is not None and workers > 1:
+            samples = _parallel_samples(graph, seeds, dynamics, r, rng, workers, batch)
+        elif batch > 1:
+            samples = _batched_samples(graph, seeds, dynamics, r, rng, batch)
+        else:
+            samples = np.empty(r, dtype=np.float64)
+            for i in range(r):
+                samples[i] = simulate_spread(graph, seeds, dynamics, rng)
+    tele.count("mc.simulations", r)
     estimate = SpreadEstimate(
         mean=float(samples.mean()),
         # ddof=1 on a single sample is 0/0 -> NaN; a lone draw carries no
@@ -187,6 +198,7 @@ def _parallel_samples(
     chunks[: r % workers] += 1
     chunks = chunks[chunks > 0]
     states = [{"entropy": base, "spawn_key": (i,)} for i in range(len(chunks))]
+    _tele().count("mc.worker_chunks", len(chunks))
     with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
         parts = list(
             pool.map(

@@ -28,6 +28,7 @@ from .isolation import IsolationConfig, RetryPolicy, execute_cell
 from .metrics import BUDGET_STATUSES, RunRecord, run_with_budget
 from .results import CheckpointJournal, cell_key
 from .skyline import PillarScores
+from .telemetry import Telemetry
 
 __all__ = [
     "SweepConfig",
@@ -65,6 +66,10 @@ class SweepConfig:
     #: deterministic, so results are identical at any worker count —
     #: unlike ``rr_workers``, the value never invalidates journal cells.
     path_workers: int | None = None
+    #: Collect per-phase spans and engine counters into each cell's
+    #: ``extras["telemetry"]`` (see :mod:`repro.framework.telemetry`).
+    #: Off by default — the no-op path leaves results byte-identical.
+    telemetry: bool = False
 
     def technique_params(self, name: str, params: Mapping[str, Any]) -> dict[str, Any]:
         """Roster params merged with the sweep-level engine knobs."""
@@ -84,6 +89,7 @@ class SweepConfig:
                 time_limit_seconds=self.time_limit_seconds,
                 memory_limit_mb=self.memory_limit_mb,
                 track_memory=self.memory_limit_mb is not None,
+                telemetry=self.telemetry,
             ),
             RetryPolicy(max_attempts=max(1, self.retries)),
         )
@@ -165,6 +171,7 @@ def memory_sweep(
             time_limit_seconds=config.time_limit_seconds,
             memory_limit_mb=config.memory_limit_mb,
             track_memory=True,
+            telemetry=Telemetry(label=name) if config.telemetry else None,
         )
         _score(graph, record, model, config)
         results[name] = record

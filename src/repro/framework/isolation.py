@@ -57,6 +57,7 @@ from .metrics import (
     run_with_budget,
 )
 from .results import _jsonable
+from .telemetry import Telemetry
 
 __all__ = [
     "IsolationConfig",
@@ -128,6 +129,11 @@ class IsolationConfig:
     time_limit_seconds: float | None = None
     memory_limit_mb: float | None = None
     track_memory: bool = False
+    #: Collect per-phase spans and counters into ``extras["telemetry"]``.
+    #: Under isolation the *child* owns the collecting handle and its
+    #: snapshot rides home inside the plain-dict record payload, so spans
+    #: survive the subprocess boundary with no extra IPC.
+    telemetry: bool = False
     #: Seconds to wait after SIGTERM before escalating to SIGKILL, and for
     #: a reporting child to exit after delivering its payload.
     grace_seconds: float = 2.0
@@ -220,6 +226,7 @@ def _isolated_worker(
     time_limit_seconds: float | None,
     memory_limit_mb: float | None,
     track_memory: bool,
+    telemetry: bool = False,
 ) -> None:
     """Run one cell in the child and ship a plain-dict payload back."""
     try:
@@ -233,6 +240,7 @@ def _isolated_worker(
             time_limit_seconds=time_limit_seconds,
             memory_limit_mb=memory_limit_mb,
             track_memory=track_memory or memory_limit_mb is not None,
+            telemetry=Telemetry(label=algorithm.name) if telemetry else None,
         )
         if memory_limit_mb is not None:
             record.extras["memory_enforcement"] = enforcement or "tracemalloc"
@@ -298,6 +306,7 @@ class IsolatedExecutor:
                 time_limit_seconds=cfg.time_limit_seconds,
                 memory_limit_mb=cfg.memory_limit_mb,
                 track_memory=cfg.track_memory or cfg.memory_limit_mb is not None,
+                telemetry=Telemetry(label=algorithm.name) if cfg.telemetry else None,
             )
         ctx = mp.get_context(cfg.start_method or _default_start_method())
         recv_conn, send_conn = ctx.Pipe(duplex=False)
@@ -306,6 +315,7 @@ class IsolatedExecutor:
             args=(
                 send_conn, algorithm, graph, k, model, rng,
                 cfg.time_limit_seconds, cfg.memory_limit_mb, cfg.track_memory,
+                cfg.telemetry,
             ),
             daemon=True,
         )

@@ -17,7 +17,7 @@ from __future__ import annotations
 import time
 import traceback
 import tracemalloc
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -26,6 +26,7 @@ import numpy as np
 from ..algorithms.base import BudgetExceeded, IMAlgorithm, SeedSelectionResult
 from ..diffusion.models import PropagationModel
 from ..graph.digraph import DiGraph
+from . import telemetry as _telemetry
 
 __all__ = [
     "ResourceBudget",
@@ -103,26 +104,53 @@ class Measurement:
     peak_memory_mb: float | None
 
 
+#: Active tracking ``measure()`` frames, innermost last.  tracemalloc has a
+#: single process-wide peak, so a nested block's ``reset_peak()`` would
+#: erase everything the enclosing block had accumulated; each frame records
+#: the peak it clobbered (``outer_peak``) and the nested peaks reported to
+#: it (``inner_peak``) so every level still reports its true maximum.
+_MEASURE_FRAMES: list[dict[str, int]] = []
+
+
 @contextmanager
 def measure(track_memory: bool = True) -> Iterator[list[Measurement]]:
-    """Context manager appending one :class:`Measurement` to the yielded list."""
+    """Context manager appending one :class:`Measurement` to the yielded list.
+
+    Nesting is supported: an inner ``measure()`` restores the peak it
+    stole from the enclosing block, so the outer measurement reports
+    ``max`` over its whole window, not just the tail after the inner
+    block's ``reset_peak()``.
+    """
     sink: list[Measurement] = []
     was_tracing = tracemalloc.is_tracing()
     if track_memory and not was_tracing:
         tracemalloc.start()
-    if track_memory and tracemalloc.is_tracing():
+    tracking = track_memory and tracemalloc.is_tracing()
+    frame = {"outer_peak": 0, "inner_peak": 0}
+    if tracking:
+        __, frame["outer_peak"] = tracemalloc.get_traced_memory()
         tracemalloc.reset_peak()
+        _MEASURE_FRAMES.append(frame)
     started = time.perf_counter()
     try:
         yield sink
     finally:
         elapsed = time.perf_counter() - started
         peak_mb: float | None = None
-        if track_memory and tracemalloc.is_tracing():
+        if tracking:
+            _MEASURE_FRAMES.pop()
             __, peak = tracemalloc.get_traced_memory()
+            peak = max(peak, frame["inner_peak"])
             peak_mb = peak / 1e6
             if not was_tracing:
                 tracemalloc.stop()
+            elif _MEASURE_FRAMES:
+                # Hand the enclosing frame everything its window actually
+                # saw: its pre-reset peak plus this whole nested episode.
+                parent = _MEASURE_FRAMES[-1]
+                parent["inner_peak"] = max(
+                    parent["inner_peak"], peak, frame["outer_peak"]
+                )
         sink.append(Measurement(elapsed, peak_mb))
 
 
@@ -162,7 +190,7 @@ class RunRecord:
         """Table-3-style cell: spread/time/memory or DNF/Crashed."""
         if not self.ok:
             return self.status
-        mem = f"{self.peak_memory_mb:.0f}MB" if self.peak_memory_mb else "-"
+        mem = f"{self.peak_memory_mb:.0f}MB" if self.peak_memory_mb is not None else "-"
         spread = f"{self.spread:.1f}" if self.spread is not None else "-"
         return f"{spread} / {self.elapsed_seconds:.2f}s / {mem}"
 
@@ -176,6 +204,7 @@ def run_with_budget(
     time_limit_seconds: float | None = None,
     memory_limit_mb: float | None = None,
     track_memory: bool = True,
+    telemetry: "_telemetry.Telemetry | None" = None,
 ) -> tuple[RunRecord, SeedSelectionResult | None]:
     """Run seed selection under a budget, mapping violations to statuses.
 
@@ -183,6 +212,13 @@ def run_with_budget(
     become ``DNF``/``CRASHED``, ``MemoryError`` becomes ``CRASHED``, and
     any other exception becomes ``FAILED`` with the traceback captured in
     ``extras["failure"]`` — one bad cell never aborts a sweep.
+
+    ``telemetry`` activates a collecting handle around the selection call
+    (root span ``select:<name>``) and stores its snapshot in
+    ``extras["telemetry"]`` — even for failed cells, where the partial
+    span tree shows which phase died.  ``None`` inherits whatever handle
+    is already ambient (usually :data:`repro.framework.telemetry.NULL`),
+    leaving records untouched.
     """
     if memory_limit_mb is not None and not track_memory:
         raise ValueError(
@@ -196,9 +232,15 @@ def run_with_budget(
     result: SeedSelectionResult | None = None
     status = STATUS_OK
     detail: dict[str, Any] = {}
-    with measure(track_memory=track_memory) as sink:
+    activation = (
+        _telemetry.activate(telemetry)
+        if telemetry is not None
+        else nullcontext(_telemetry.current())
+    )
+    with measure(track_memory=track_memory) as sink, activation as tele:
         try:
-            result = algorithm.select(graph, k, model, rng=rng, budget=budget)
+            with tele.span(f"select:{algorithm.name}"):
+                result = algorithm.select(graph, k, model, rng=rng, budget=budget)
         except BudgetExceeded as exc:
             status = exc.status
             detail["budget_detail"] = exc.detail
@@ -212,6 +254,8 @@ def run_with_budget(
                 "message": str(exc),
                 "traceback": traceback.format_exc(),
             }
+    if telemetry is not None:
+        detail["telemetry"] = telemetry.snapshot()
     m = sink[0]
     record = RunRecord(
         algorithm=algorithm.name,

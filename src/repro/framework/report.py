@@ -51,13 +51,20 @@ EXPERIMENT_ORDER: tuple[tuple[str, str], ...] = (
 
 
 def collect_results(results_dir: str | os.PathLike) -> dict[str, str]:
-    """Read every ``<experiment>.txt`` under ``results_dir``."""
+    """Read every ``*.txt`` under ``results_dir``, recursively.
+
+    Top-level files are keyed by stem (matching :data:`EXPERIMENT_ORDER`);
+    files in subdirectories are keyed by their slash-joined relative path
+    sans suffix (``journals/sweep1``), so a bench that organizes outputs
+    into folders still surfaces in the report.
+    """
     directory = pathlib.Path(results_dir)
     found: dict[str, str] = {}
     if not directory.is_dir():
         return found
-    for path in sorted(directory.glob("*.txt")):
-        found[path.stem] = path.read_text().rstrip()
+    for path in sorted(directory.rglob("*.txt")):
+        relative = path.relative_to(directory).with_suffix("")
+        found["/".join(relative.parts)] = path.read_text().rstrip()
     return found
 
 
@@ -68,8 +75,9 @@ def render_report(
     """One markdown document covering every produced experiment.
 
     Experiments without a results file are listed as *not yet run*;
-    results files without a known title are appended at the end so nothing
-    silently disappears.
+    results files without a known title — new benches, nested artifacts —
+    are appended in an "Unlisted artifacts" section so nothing silently
+    disappears from the report.
     """
     results = collect_results(results_dir)
     lines = ["# Reproduction report", ""]
@@ -88,7 +96,10 @@ def render_report(
         lines.append("")
     extras = sorted(set(results) - seen)
     if extras:
-        lines.append("## Additional outputs")
+        lines.append("## Unlisted artifacts")
+        lines.append("")
+        lines.append("*results files with no entry in `EXPERIMENT_ORDER` — new "
+                     "benches land here until they are given a canonical slot*")
         lines.append("")
         for stem in extras:
             lines.append(f"### {stem}")

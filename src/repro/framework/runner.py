@@ -15,7 +15,9 @@ killed spectrum walk resumes without re-running finished work.
 
 from __future__ import annotations
 
+import dataclasses
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -26,6 +28,7 @@ from ..algorithms.base import IMAlgorithm
 from ..diffusion.models import PropagationModel
 from ..diffusion.simulation import SpreadEstimate, monte_carlo_spread
 from ..graph.digraph import DiGraph
+from . import telemetry as _telemetry
 from .convergence import converged
 from .isolation import IsolationConfig, RetryPolicy, derive_rng, execute_cell
 from .metrics import RunRecord
@@ -135,6 +138,15 @@ class IMFramework:
         implications (it still lands in the spectrum params, which is
         harmless but means cells journaled with and without fan-out are
         keyed apart).
+    telemetry:
+        Optional :class:`~repro.framework.telemetry.Telemetry` session
+        handle.  When given, every selection pass collects per-phase
+        spans and counters into ``RunRecord.extras["telemetry"]`` (also
+        across the isolation subprocess boundary), each cell's snapshot
+        is absorbed into this handle, and the decoupled MC scoring runs
+        under a ``score`` span.  ``None`` (the default) keeps the no-op
+        fast path: seed sets and timings are byte-identical to a build
+        without telemetry.
     """
 
     def __init__(
@@ -155,6 +167,7 @@ class IMFramework:
         mc_batch: int | None = None,
         spread_oracle: str | None = None,
         path_workers: int | None = None,
+        telemetry: "_telemetry.Telemetry | None" = None,
     ) -> None:
         self.graph = graph
         self.model = model
@@ -177,17 +190,22 @@ class IMFramework:
         self.mc_batch = mc_batch
         self.spread_oracle = spread_oracle
         self.path_workers = path_workers
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
 
     def _isolation_config(self) -> IsolationConfig:
+        collect = self.telemetry is not None
         if self.isolation is not None:
+            if collect and not self.isolation.telemetry:
+                return dataclasses.replace(self.isolation, telemetry=True)
             return self.isolation
         return IsolationConfig(
             enabled=False,
             time_limit_seconds=self.time_limit_seconds,
             memory_limit_mb=self.memory_limit_mb,
             track_memory=self.track_memory,
+            telemetry=collect,
         )
 
     def evaluate(
@@ -214,11 +232,19 @@ class IMFramework:
             config=self._isolation_config(),
             retry=self.retry,
         )
+        if self.telemetry is not None:
+            self.telemetry.absorb(record.extras.get("telemetry"))
         if record.ok:
-            estimate = monte_carlo_spread(
-                self.graph, record.seeds, self.model, r=self.mc_simulations,
-                rng=mc_rng, workers=self.mc_workers, batch=self.mc_batch,
+            activation = (
+                _telemetry.activate(self.telemetry)
+                if self.telemetry is not None
+                else nullcontext(_telemetry.current())
             )
+            with activation as tele, tele.span("score"):
+                estimate = monte_carlo_spread(
+                    self.graph, record.seeds, self.model, r=self.mc_simulations,
+                    rng=mc_rng, workers=self.mc_workers, batch=self.mc_batch,
+                )
             record.spread = estimate.mean
             record.spread_std = estimate.std
         return record

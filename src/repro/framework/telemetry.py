@@ -1,0 +1,397 @@
+"""Structured observability: hierarchical spans, counters, JSONL traces.
+
+The paper's deliverable is *measurement* — every table cell is a
+(spread, time, memory) triple — and a disputed cell is only as defensible
+as the instrumentation behind it.  This module gives every engine a
+first-class place to record *why* a cell costs what it costs:
+
+* **Spans** — phase timings as a tree (e.g. ``select:PMIA →
+  paths.build_structures → paths.dijkstra_batch``).  Spans of the same
+  name under the same parent merge: ``elapsed`` accumulates and ``calls``
+  counts occurrences, so a hot phase entered thousands of times stays one
+  node.
+* **Counters** — named monotone totals (RR sets sampled, σ evaluations,
+  gain-cache hits/misses, frontier expansions, worker-pool chunks).
+* **JSONL trace sink** — :func:`write_trace` appends one self-describing
+  event per line; :func:`summarize_trace` renders the per-phase
+  breakdown (``python -m repro trace PATH`` on the CLI).
+
+Overhead contract
+-----------------
+Telemetry is **off by default** and zero-overhead when off: the ambient
+handle (:func:`current`) is the :data:`NULL` singleton whose ``span()``
+returns a shared no-op context manager and whose ``count()`` is a pass —
+no allocation, no clock read, and *never* an RNG draw.  Instrumented code
+therefore produces byte-identical seed sets and statistically untouched
+timings whether or not a real handle is active (asserted by
+``tests/test_telemetry.py``).  Call sites are placed at *phase*
+granularity (per sampling batch, per Dijkstra batch, per σ evaluation),
+never per edge or per coin flip.
+
+This module deliberately imports nothing from :mod:`repro` so the
+diffusion engines can reach :func:`current` lazily without import cycles.
+Activation is process-local: an isolated worker collects into its own
+handle and ships the snapshot back through the existing record pipe
+(see :mod:`repro.framework.isolation`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "current",
+    "activate",
+    "new_node",
+    "write_trace",
+    "read_trace",
+    "summarize_trace",
+]
+
+
+# ----------------------------------------------------------------------
+# Ambient handle
+
+class _NullSpan:
+    """Reusable no-op context manager — the off-path cost of a span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a no-op.
+
+    The singleton :data:`NULL` is the ambient default, so instrumented
+    hot paths pay one attribute lookup and one no-op call when telemetry
+    is off — nothing else.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+    def snapshot(self) -> None:
+        return None
+
+
+NULL = NullTelemetry()
+
+_ACTIVE: "Telemetry | NullTelemetry" = NULL
+
+
+def current() -> "Telemetry | NullTelemetry":
+    """The ambient telemetry handle (:data:`NULL` unless activated)."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(telemetry: "Telemetry | None") -> Iterator["Telemetry | NullTelemetry"]:
+    """Make ``telemetry`` the ambient handle for the enclosed block.
+
+    ``None`` activates :data:`NULL` (useful for uniform call sites).
+    Activations nest; the previous handle is restored even on exceptions.
+    Process-local and not thread-safe — matching the engines themselves,
+    which parallelize via subprocesses, never threads.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry if telemetry is not None else NULL
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# Collecting handle
+
+def new_node() -> dict[str, Any]:
+    """A fresh span-tree node: ``{"elapsed", "calls", "children"}``."""
+    return {"elapsed": 0.0, "calls": 0, "children": {}}
+
+
+class Telemetry:
+    """A collecting handle: span tree + counters, snapshot-able to JSON.
+
+    The span tree is plain dicts (see :func:`new_node`) so a snapshot is
+    JSON-able as-is and survives the isolation subprocess pipe and
+    ``save_records``/``load_records`` without a custom codec.
+    """
+
+    enabled = True
+
+    def __init__(self, label: str | None = None) -> None:
+        self.label = label
+        self.counters: dict[str, int] = {}
+        self._root: dict[str, Any] = new_node()
+        self._stack: list[dict[str, Any]] = [self._root]
+
+    # -- spans ----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator["Telemetry"]:
+        """Time a phase; same-named spans under one parent merge.
+
+        Direct recursion into the same node double-counts the nested
+        time under itself — instrument recursive phases at their entry
+        point only.
+        """
+        parent = self._stack[-1]
+        node = parent["children"].get(name)
+        if node is None:
+            node = new_node()
+            parent["children"][name] = node
+        self._stack.append(node)
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            node["elapsed"] += time.perf_counter() - started
+            node["calls"] += 1
+            self._stack.pop()
+
+    # -- counters -------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named counter (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able view: ``{"label", "spans", "counters"}``.
+
+        ``spans`` maps top-level span names to nodes.  The returned
+        structure is a deep copy — mutating it never corrupts the handle.
+        """
+        return {
+            "label": self.label,
+            "spans": _copy_tree(self._root["children"]),
+            "counters": dict(self.counters),
+        }
+
+    def absorb(self, snapshot: dict[str, Any] | None, under: str | None = None) -> None:
+        """Merge another handle's snapshot (e.g. an isolated child's).
+
+        ``under`` nests the absorbed spans below a named node — useful
+        when one session handle aggregates many cells — whose elapsed
+        grows by the absorbed top-level total.  Counters always merge
+        into the flat counter table.
+        """
+        if not snapshot:
+            return
+        spans = snapshot.get("spans") or {}
+        dest = self._root
+        if under is not None:
+            node = dest["children"].get(under)
+            if node is None:
+                node = new_node()
+                dest["children"][under] = node
+            node["elapsed"] += sum(child["elapsed"] for child in spans.values())
+            node["calls"] += 1
+            dest = node
+        _merge_tree(dest["children"], spans)
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.count(name, value)
+
+
+def _copy_tree(children: dict[str, Any]) -> dict[str, Any]:
+    return {
+        name: {
+            "elapsed": float(node["elapsed"]),
+            "calls": int(node["calls"]),
+            "children": _copy_tree(node.get("children") or {}),
+        }
+        for name, node in children.items()
+    }
+
+
+def _merge_tree(dest: dict[str, Any], src: dict[str, Any]) -> None:
+    for name, node in src.items():
+        into = dest.get(name)
+        if into is None:
+            dest[name] = {
+                "elapsed": float(node["elapsed"]),
+                "calls": int(node["calls"]),
+                "children": _copy_tree(node.get("children") or {}),
+            }
+        else:
+            into["elapsed"] += float(node["elapsed"])
+            into["calls"] += int(node["calls"])
+            _merge_tree(into["children"], node.get("children") or {})
+
+
+# ----------------------------------------------------------------------
+# JSONL trace sink
+
+def _walk_spans(children: dict[str, Any], prefix: str, out: list[dict]) -> None:
+    for name, node in children.items():
+        path = f"{prefix}/{name}" if prefix else name
+        out.append(
+            {
+                "type": "span",
+                "path": path,
+                "elapsed": float(node["elapsed"]),
+                "calls": int(node["calls"]),
+            }
+        )
+        _walk_spans(node.get("children") or {}, path, out)
+
+
+def write_trace(
+    path,
+    snapshot: dict[str, Any] | None,
+    cell: str | None = None,
+    record=None,
+) -> int:
+    """Append one telemetry snapshot as JSONL events; returns lines written.
+
+    Events carry ``cell`` (an opaque label, e.g. the journal cell key) so
+    one file can hold a whole sweep.  ``record`` — anything with
+    ``algorithm``/``status``/``elapsed_seconds``/``k`` attributes, i.e. a
+    :class:`~repro.framework.metrics.RunRecord` — adds a ``record`` event
+    that anchors the spans to the measured cell (the summarizer reports
+    per-phase coverage against it).  Appending is line-atomic enough for
+    the same crash-tolerance contract as the checkpoint journal: a torn
+    trailing line is skipped by :func:`read_trace`.
+    """
+    events: list[dict[str, Any]] = []
+    if snapshot:
+        label = snapshot.get("label")
+        if label:
+            events.append({"type": "meta", "label": label})
+        _walk_spans(snapshot.get("spans") or {}, "", events)
+        for name, value in sorted((snapshot.get("counters") or {}).items()):
+            events.append({"type": "counter", "name": name, "value": int(value)})
+    if record is not None:
+        events.append(
+            {
+                "type": "record",
+                "algorithm": getattr(record, "algorithm", None),
+                "status": getattr(record, "status", None),
+                "k": getattr(record, "k", None),
+                "elapsed_seconds": float(getattr(record, "elapsed_seconds", 0.0)),
+            }
+        )
+    if not events:
+        return 0
+    with open(path, "a") as handle:
+        for event in events:
+            if cell is not None:
+                event["cell"] = cell
+            handle.write(json.dumps(event) + "\n")
+    return len(events)
+
+
+def read_trace(path) -> list[dict[str, Any]]:
+    """Parse a JSONL trace, skipping blank or torn lines."""
+    events: list[dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict) and "type" in event:
+                events.append(event)
+    return events
+
+
+def summarize_trace(path) -> str:
+    """Human-readable per-phase breakdown of a JSONL trace.
+
+    Aggregates spans by path across every cell in the file, sums the
+    counters, and — when ``record`` events are present — reports how much
+    of each recorded ``elapsed_seconds`` the top-level spans cover (the
+    instrumentation-completeness check of the trace-smoke CI step).
+    """
+    events = read_trace(path)
+    spans: dict[str, dict[str, float]] = {}
+    counters: dict[str, int] = {}
+    records: list[dict[str, Any]] = []
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            agg = spans.setdefault(event["path"], {"elapsed": 0.0, "calls": 0})
+            agg["elapsed"] += float(event.get("elapsed", 0.0))
+            agg["calls"] += int(event.get("calls", 0))
+        elif kind == "counter":
+            name = event["name"]
+            counters[name] = counters.get(name, 0) + int(event.get("value", 0))
+        elif kind == "record":
+            records.append(event)
+    lines = [f"Trace: {path}", f"  events: {len(events)}, cells with records: {len(records)}"]
+    if spans:
+        lines.append("")
+        lines.append("Spans (aggregated over cells)")
+        width = max(len(p) for p in spans) + 2
+        lines.append(f"  {'path'.ljust(width)}{'elapsed_s':>10}  {'calls':>8}")
+        children_of: dict[str, list[str]] = {}
+        for p in spans:
+            parent = p.rsplit("/", 1)[0] if "/" in p else ""
+            children_of.setdefault(parent, []).append(p)
+        emitted: set[str] = set()
+
+        def emit(parent: str, depth: int) -> None:
+            for p in sorted(
+                children_of.get(parent, ()), key=lambda q: -spans[q]["elapsed"]
+            ):
+                emitted.add(p)
+                label = ("  " * depth) + p.rsplit("/", 1)[-1]
+                lines.append(
+                    f"  {label.ljust(width)}{spans[p]['elapsed']:>10.4f}"
+                    f"  {int(spans[p]['calls']):>8}"
+                )
+                emit(p, depth + 1)
+
+        emit("", 0)
+        # Orphans (a child whose parent event was torn away) still show.
+        for p in sorted(set(spans) - emitted):
+            lines.append(
+                f"  {p.ljust(width)}{spans[p]['elapsed']:>10.4f}"
+                f"  {int(spans[p]['calls']):>8}"
+            )
+    if counters:
+        lines.append("")
+        lines.append("Counters")
+        width = max(len(name) for name in counters) + 2
+        for name in sorted(counters):
+            lines.append(f"  {name.ljust(width)}{counters[name]}")
+    if records:
+        top_level = sum(
+            agg["elapsed"] for p, agg in spans.items()
+            if "/" not in p and p.startswith("select")
+        )
+        recorded = sum(r.get("elapsed_seconds") or 0.0 for r in records)
+        lines.append("")
+        if recorded > 0:
+            lines.append(
+                f"Coverage: select spans {top_level:.4f}s over "
+                f"{recorded:.4f}s recorded ({100.0 * top_level / recorded:.1f}%)"
+            )
+        else:
+            lines.append("Coverage: recorded elapsed is zero")
+    return "\n".join(lines)

@@ -53,6 +53,34 @@ class TestMeasure:
         assert inner[0].peak_memory_mb is not None
         assert outer[0].peak_memory_mb is not None
 
+    def test_nested_block_does_not_clobber_outer_peak(self):
+        # Regression: the inner block's reset_peak() used to erase the
+        # outer block's high-water mark, so an outer allocation freed
+        # before the inner block started was never reported.
+        with measure(track_memory=True) as outer:
+            big = np.zeros(2_000_000)  # ~16 MB, the outer peak
+            del big
+            with measure(track_memory=True) as inner:
+                __ = np.zeros(100_000)  # ~0.8 MB
+        assert inner[0].peak_memory_mb < 10
+        assert outer[0].peak_memory_mb > 10
+
+    def test_outer_peak_sees_nested_allocation(self):
+        # The converse direction: a peak inside the inner block must
+        # still count toward the enclosing measurement.
+        with measure(track_memory=True) as outer:
+            with measure(track_memory=True) as inner:
+                __ = np.zeros(2_000_000)  # ~16 MB
+        assert inner[0].peak_memory_mb > 10
+        assert outer[0].peak_memory_mb >= inner[0].peak_memory_mb
+
+    def test_doubly_nested_peaks_propagate(self):
+        with measure(track_memory=True) as outer:
+            with measure(track_memory=True):
+                with measure(track_memory=True) as innermost:
+                    __ = np.zeros(2_000_000)  # ~16 MB
+        assert outer[0].peak_memory_mb >= innermost[0].peak_memory_mb > 10
+
 
 class TestResourceBudget:
     def test_memory_budget_raises_crashed(self):
@@ -106,6 +134,16 @@ class TestRunWithBudget:
         assert "12.0" in ok.cell()
         dnf = RunRecord("X", "IC", 5, STATUS_DNF)
         assert dnf.cell() == "DNF"
+
+    def test_cell_renders_zero_peak_memory(self):
+        # Regression: a legitimate measured peak of 0.0 MB used to be
+        # truth-tested away and rendered as the untracked "-" placeholder.
+        zero = RunRecord("X", "IC", 5, STATUS_OK, spread=1.0,
+                         elapsed_seconds=0.5, peak_memory_mb=0.0)
+        assert zero.cell().endswith("0MB")
+        untracked = RunRecord("X", "IC", 5, STATUS_OK, spread=1.0,
+                              elapsed_seconds=0.5, peak_memory_mb=None)
+        assert untracked.cell().endswith("-")
 
     def test_memory_tracking_optional(self, small_graph, rng):
         record, __ = run_with_budget(

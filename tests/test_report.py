@@ -11,6 +11,9 @@ from repro.framework.report import EXPERIMENT_ORDER, collect_results, render_rep
 def results_dir(tmp_path):
     (tmp_path / "fig06_quality.txt").write_text("spread table\n")
     (tmp_path / "mystery_extra.txt").write_text("surprise\n")
+    nested = tmp_path / "profiles"
+    nested.mkdir()
+    (nested / "trace_summary.txt").write_text("phase breakdown\n")
     return tmp_path
 
 
@@ -19,6 +22,10 @@ class TestCollect:
         results = collect_results(results_dir)
         assert results["fig06_quality"] == "spread table"
         assert "mystery_extra" in results
+
+    def test_nested_artifacts_keyed_by_relative_path(self, results_dir):
+        results = collect_results(results_dir)
+        assert results["profiles/trace_summary"] == "phase breakdown"
 
     def test_missing_dir(self, tmp_path):
         assert collect_results(tmp_path / "nope") == {}
@@ -36,9 +43,14 @@ class TestRender:
 
     def test_unknown_outputs_appended(self, results_dir):
         report = render_report(results_dir)
-        assert "Additional outputs" in report
+        assert "Unlisted artifacts" in report
         assert "mystery_extra" in report
         assert "surprise" in report
+
+    def test_nested_artifacts_not_dropped(self, results_dir):
+        report = render_report(results_dir)
+        assert "profiles/trace_summary" in report
+        assert "phase breakdown" in report
 
     def test_cli_report_to_file(self, results_dir, tmp_path, capsys):
         from repro.cli import main
