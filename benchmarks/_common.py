@@ -67,6 +67,16 @@ MEMORY_LIMIT_MB = 300.0
 #                             engine counters) and append it as JSONL to
 #                             the given file; summarize with
 #                             ``python -m repro trace path``
+#   REPRO_BENCH_POOL_RETRIES=n
+#                             per-chunk retry budget of the resilient
+#                             worker pool (repro.framework.pool) that all
+#                             parallel engines fan out through; a chunk
+#                             failing n times is quarantined -> cell FAILED
+#   REPRO_FAULT_RATE=r        arm the chunk fault injector at rate r
+#                             (with REPRO_FAULT_MODE=kill|hang|corrupt|
+#                             raise, REPRO_FAULT_SEED) — chaos-testing
+#                             knob; results stay byte-identical because
+#                             lost chunks replay from their spawn keys
 BENCH_ISOLATE = os.environ.get("REPRO_BENCH_ISOLATE", "") == "1"
 BENCH_RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "1") or "1")
 BENCH_RESUME = os.environ.get("REPRO_BENCH_RESUME", "") == "1"
@@ -76,6 +86,7 @@ BENCH_MC_BATCH = int(os.environ.get("REPRO_BENCH_MC_BATCH", "0") or "0")
 BENCH_SPREAD_ORACLE = os.environ.get("REPRO_BENCH_SPREAD_ORACLE", "") or None
 BENCH_PATH_WORKERS = int(os.environ.get("REPRO_BENCH_PATH_WORKERS", "0") or "0")
 BENCH_TRACE = os.environ.get("REPRO_BENCH_TRACE", "") or None
+BENCH_POOL_RETRIES = int(os.environ.get("REPRO_BENCH_POOL_RETRIES", "0") or "0") or None
 JOURNAL_DIR = RESULTS_DIR / "journals"
 
 #: Per-algorithm constructor parameters scaled for pure Python.  epsilon /
@@ -189,6 +200,7 @@ def run_cell(
             memory_limit_mb=memory_limit_mb,
             track_memory=memory_limit_mb is not None,
             telemetry=BENCH_TRACE is not None,
+            pool_retries=BENCH_POOL_RETRIES,
         ),
         retry=RetryPolicy(max_attempts=max(1, BENCH_RETRIES)),
     )

@@ -41,7 +41,6 @@ under the parallel-edges LT weighting of its own evaluation.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
 import heapq
@@ -219,21 +218,20 @@ class SIMPATH(IMAlgorithm):
             vnodes = np.flatnonzero(cov)
             sigma = np.ones(n, dtype=np.float64)  # the empty path
             if workers is not None and workers > 1 and vnodes.size > 1:
+                from ..framework.pool import run_chunks  # lazy: import cycle
+
                 spans = _worker_chunks(vnodes.size, workers)
-                with ProcessPoolExecutor(max_workers=len(spans)) as pool:
-                    futures = [
-                        pool.submit(_sigma_cover, graph, vnodes[lo:hi],
-                                    self.eta, cov)
-                        for lo, hi in spans
-                    ]
-                    contrib = np.zeros(n, dtype=np.float64)
-                    sig_parts = []
-                    for future in futures:
-                        sig, part = future.result()
-                        sig_parts.append(sig)
-                        contrib += part
-                        self._tick(budget)
-                sigma[vnodes] = np.concatenate(sig_parts)
+                parts = run_chunks(
+                    _sigma_cover,
+                    [(graph, vnodes[lo:hi], self.eta, cov) for lo, hi in spans],
+                    workers=len(spans),
+                    label="simpath.sigma_cover",
+                    tick=lambda: self._tick(budget),
+                )
+                contrib = np.zeros(n, dtype=np.float64)
+                for __, part in parts:
+                    contrib += part
+                sigma[vnodes] = np.concatenate([sig for sig, __ in parts])
             else:
                 sig, contrib = _sigma_cover(graph, vnodes, self.eta, cov,
                                             budget=budget)
@@ -242,17 +240,17 @@ class SIMPATH(IMAlgorithm):
             sigma[rest] += contrib[rest]
             return sigma
         if workers is not None and workers > 1 and n > 1:
+            from ..framework.pool import run_chunks  # lazy: import cycle
+
             spans = _worker_chunks(n, workers)
             nodes = np.arange(n, dtype=np.int64)
-            with ProcessPoolExecutor(max_workers=len(spans)) as pool:
-                futures = [
-                    pool.submit(_sigma_plain, graph, nodes[lo:hi], self.eta)
-                    for lo, hi in spans
-                ]
-                parts = []
-                for future in futures:
-                    parts.append(future.result())
-                    self._tick(budget)
+            parts = run_chunks(
+                _sigma_plain,
+                [(graph, nodes[lo:hi], self.eta) for lo, hi in spans],
+                workers=len(spans),
+                label="simpath.sigma_plain",
+                tick=lambda: self._tick(budget),
+            )
             return np.concatenate(parts)
         allowed = np.ones(n, dtype=bool)
         sigma = np.zeros(n, dtype=np.float64)

@@ -121,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--retries", type=int, default=1, metavar="N",
                      help="attempts for transient FAILED/KILLED cells, each "
                           "on a derived RNG (default 1 = no retry)")
+    sel.add_argument("--pool-retries", type=int, default=None, metavar="N",
+                     help="per-chunk retry budget for the resilient worker "
+                          "pool under any parallel engine (--rr-workers/"
+                          "--mc-workers/--path-workers); a chunk failing "
+                          "this many times is quarantined and the cell "
+                          "FAILED (default: REPRO_BENCH_POOL_RETRIES or 4)")
     sel.add_argument("--resume", default=None, metavar="JOURNAL",
                      help="JSONL checkpoint journal; a cell already recorded "
                           "there is not re-run")
@@ -218,6 +224,7 @@ def _cmd_select(args) -> int:
                 memory_limit_mb=args.memory_limit_mb,
                 track_memory=args.memory_limit_mb is not None,
                 telemetry=tele is not None,
+                pool_retries=args.pool_retries,
             ),
             retry=RetryPolicy(max_attempts=max(1, args.retries)),
         )

@@ -55,7 +55,6 @@ spawning is needed and results are independent of the worker count).
 from __future__ import annotations
 
 import heapq
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable
 
 import numpy as np
@@ -410,19 +409,22 @@ def batched_max_prob_paths(
     tele = _tele()
     with tele.span("paths.dijkstra_batch"):
         if workers is not None and workers > 1 and len(sources) > 1:
+            from ..framework.pool import run_chunks  # lazy: import cycle
+
             spans = _worker_chunks(len(sources), workers)
             tele.count("paths.worker_chunks", len(spans))
-            with ProcessPoolExecutor(max_workers=len(spans)) as pool:
-                futures = [
-                    pool.submit(_kernel_chunk, graph, sources[lo:hi], threshold,
-                                reverse, blocked)
+            # The kernel is deterministic, so the resilient pool can
+            # replay a lost chunk exactly; parts merge in span order.
+            parts = run_chunks(
+                _kernel_chunk,
+                [
+                    (graph, sources[lo:hi], threshold, reverse, blocked)
                     for lo, hi in spans
-                ]
-                parts = []
-                for future in futures:
-                    parts.append(future.result())
-                    if tick is not None:
-                        tick()
+                ],
+                workers=len(spans),
+                label="paths.dijkstra_batch",
+                tick=tick,
+            )
             ptrs = [parts[0][0]]
             for part in parts[1:]:
                 ptrs.append(part[0][1:] + ptrs[-1][-1])
@@ -852,19 +854,20 @@ def build_dag_store(
     with tele.span("paths.build_structures"):
         roots = np.arange(graph.n, dtype=np.int64)
         if workers is not None and workers > 1 and graph.n > 1:
+            from ..framework.pool import run_chunks  # lazy: import cycle
+
             spans = _worker_chunks(graph.n, workers)
             tele.count("paths.worker_chunks", len(spans))
-            with ProcessPoolExecutor(max_workers=len(spans)) as pool:
-                futures = [
-                    pool.submit(_dag_chunk, graph, roots[lo:hi], eta)
-                    for lo, hi in spans
-                ]
-                dags: list[LocalDag] = []
-                for (lo, hi), future in zip(spans, futures):
-                    flat, edges = future.result()
-                    dags.extend(_dags_from_chunk(roots[lo:hi], flat, edges))
-                    if tick is not None:
-                        tick()
+            parts = run_chunks(
+                _dag_chunk,
+                [(graph, roots[lo:hi], eta) for lo, hi in spans],
+                workers=len(spans),
+                label="paths.build_structures",
+                tick=tick,
+            )
+            dags: list[LocalDag] = []
+            for (lo, hi), (flat, edges) in zip(spans, parts):
+                dags.extend(_dags_from_chunk(roots[lo:hi], flat, edges))
         else:
             flat, edges = _dag_chunk(graph, roots, eta)
             dags = _dags_from_chunk(roots, flat, edges)

@@ -242,7 +242,8 @@ class FlatRRPool:
         workers: int,
         budget,
     ) -> None:
-        from concurrent.futures import ProcessPoolExecutor
+        # Lazy for the same circular-import reason as _tele.
+        from ..framework.pool import run_chunks
 
         base = int(rng.integers(0, 2**63 - 1))
         chunks = np.full(workers, count // workers, dtype=np.int64)
@@ -250,18 +251,19 @@ class FlatRRPool:
         chunks = chunks[chunks > 0]
         states = [{"entropy": base, "spawn_key": (i,)} for i in range(len(chunks))]
         _tele().count("rrpool.worker_chunks", len(chunks))
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            results = pool.map(
-                _sample_rr_chunk,
-                [graph] * len(chunks),
-                [dynamics] * len(chunks),
-                [int(c) for c in chunks],
-                states,
-            )
-            for lengths, flat, widths in results:
-                if budget is not None:
-                    budget.check()
-                self._append_chunk(lengths, flat, widths)
+        # Each chunk is fully determined by its spawn-key state, so the
+        # resilient pool can replay lost chunks byte-identically; results
+        # are committed in chunk order, keeping the pool layout identical
+        # at any completion (or recovery) order.
+        parts = run_chunks(
+            _sample_rr_chunk,
+            [(graph, dynamics, int(c), s) for c, s in zip(chunks, states)],
+            workers=len(chunks),
+            label="rrpool.sample",
+            tick=budget.check if budget is not None else None,
+        )
+        for lengths, flat, widths in parts:
+            self._append_chunk(lengths, flat, widths)
 
     # ------------------------------------------------------------------
     # CSR views

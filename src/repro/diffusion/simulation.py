@@ -189,8 +189,9 @@ def _parallel_samples(
     workers: int,
     batch: int = 1,
 ) -> np.ndarray:
-    """Fan ``r`` simulations out over a process pool."""
-    from concurrent.futures import ProcessPoolExecutor
+    """Fan ``r`` simulations out over the resilient worker pool."""
+    # Lazy for the same circular-import reason as _tele.
+    from ..framework.pool import run_chunks
 
     seed_list = [int(s) for s in np.asarray(seeds, dtype=np.int64)]
     base = int(rng.integers(0, 2**63 - 1))
@@ -199,16 +200,15 @@ def _parallel_samples(
     chunks = chunks[chunks > 0]
     states = [{"entropy": base, "spawn_key": (i,)} for i in range(len(chunks))]
     _tele().count("mc.worker_chunks", len(chunks))
-    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-        parts = list(
-            pool.map(
-                _simulate_chunk,
-                [graph] * len(chunks),
-                [seed_list] * len(chunks),
-                [dynamics] * len(chunks),
-                [int(c) for c in chunks],
-                states,
-                [batch] * len(chunks),
-            )
-        )
+    # Chunks draw from spawn-key-derived streams, so a lost chunk replays
+    # byte-identically and the concatenation order is fixed by chunk index.
+    parts = run_chunks(
+        _simulate_chunk,
+        [
+            (graph, seed_list, dynamics, int(c), s, batch)
+            for c, s in zip(chunks, states)
+        ],
+        workers=len(chunks),
+        label="mc.spread",
+    )
     return np.concatenate(parts)

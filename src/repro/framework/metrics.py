@@ -27,6 +27,7 @@ from ..algorithms.base import BudgetExceeded, IMAlgorithm, SeedSelectionResult
 from ..diffusion.models import PropagationModel
 from ..graph.digraph import DiGraph
 from . import telemetry as _telemetry
+from .pool import PoolError
 
 __all__ = [
     "ResourceBudget",
@@ -254,6 +255,11 @@ def run_with_budget(
                 "message": str(exc),
                 "traceback": traceback.format_exc(),
             }
+            if isinstance(exc, PoolError):
+                # Inner worker-pool failures (quarantined chunk, collapse
+                # during serial downgrade) keep their structured detail so
+                # a FAILED cell says *which* chunk poisoned it.
+                detail["failure"]["pool"] = exc.details
     if telemetry is not None:
         detail["telemetry"] = telemetry.snapshot()
     m = sink[0]

@@ -87,14 +87,35 @@ def cell_key(
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
+def _tail_needs_newline(path: str | os.PathLike) -> bool:
+    """True when the file ends mid-line (a torn append from a kill)."""
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return False
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+    except OSError:
+        return False
+
+
 def append_record(
     record: RunRecord, path: str | os.PathLike, key: str | None = None
 ) -> None:
-    """Append one record as a JSONL line, fsynced so a kill can lose at
-    most the line being written."""
+    """Append one record as a line-atomic JSONL entry.
+
+    The whole line (payload plus terminator) goes through one buffered
+    write, flushed and fsynced, so a kill can lose at most the line being
+    written — never a previously committed one.  If the file's current
+    tail is a torn line (the writer before us was killed mid-write), a
+    newline is inserted first so the torn fragment cannot swallow this
+    record by concatenation.
+    """
     line = json.dumps({"key": key, "record": _jsonable(asdict(record))})
+    prefix = "\n" if _tail_needs_newline(path) else ""
     with open(path, "a") as handle:
-        handle.write(line + "\n")
+        handle.write(prefix + line + "\n")
         handle.flush()
         os.fsync(handle.fileno())
 
@@ -103,35 +124,68 @@ class CheckpointJournal:
     """Append-only JSONL journal of completed sweep cells.
 
     ``key in journal`` / ``journal.get(key)`` answer the resume question;
-    :meth:`record` durably appends a finished cell.  Loading skips blank,
-    truncated, or otherwise unparsable lines (the expected residue of a
-    killed writer) rather than failing the whole resume.
+    :meth:`record` durably appends a finished cell.  Loading skips blank
+    or unparsable interior lines (the expected residue of a killed
+    writer) rather than failing the whole resume, and **repairs** a torn
+    trailing line — a kill mid-write leaves a partial record at the tail,
+    which is truncated away (and reported via :mod:`warnings` and
+    :attr:`torn_tail_bytes`) so the next append starts from a clean
+    line boundary instead of concatenating onto the fragment.
     """
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = os.fspath(path)
         self._cells: dict[str, RunRecord] = {}
+        #: Bytes of torn trailing data truncated during load (0 = clean).
+        self.torn_tail_bytes = 0
         self._load()
+
+    def _parse_line(self, line: str) -> bool:
+        """Absorb one journal line into the cell map; False when torn."""
+        if not line.strip():
+            return True
+        try:
+            item = json.loads(line)
+        except json.JSONDecodeError:
+            return False
+        payload = item.get("record") if isinstance(item, dict) else None
+        if not isinstance(payload, dict):
+            return False
+        try:
+            self._cells[item.get("key")] = RunRecord(**payload)
+        except TypeError:
+            return False
+        return True
 
     def _load(self) -> None:
         if not os.path.exists(self.path):
             return
-        with open(self.path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    item = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                payload = item.get("record") if isinstance(item, dict) else None
-                if not isinstance(payload, dict):
-                    continue
-                try:
-                    self._cells[item.get("key")] = RunRecord(**payload)
-                except TypeError:
-                    continue
+        good_end = 0
+        offset = 0
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                offset += len(raw)
+                # A line only commits when it carries its newline AND
+                # parses: a parseable-looking tail without a newline may
+                # still be a partially flushed write, so it is neither
+                # absorbed nor preserved.
+                if raw.endswith(b"\n") and self._parse_line(
+                    raw.decode("utf-8", errors="replace")
+                ):
+                    good_end = offset
+        if offset > good_end:
+            self.torn_tail_bytes = offset - good_end
+            import warnings
+
+            warnings.warn(
+                f"checkpoint journal {self.path}: truncating torn trailing "
+                f"record ({self.torn_tail_bytes} bytes) left by a killed "
+                "writer; the affected cell will re-run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_end)
 
     def __contains__(self, key: str) -> bool:
         return key in self._cells

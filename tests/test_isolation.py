@@ -8,6 +8,7 @@ determinism and checkpoint/resume round-trips are exercised the same way.
 """
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -35,7 +36,7 @@ from repro.framework.metrics import (
     RunRecord,
     run_with_budget,
 )
-from repro.framework.results import CheckpointJournal, cell_key
+from repro.framework.results import CheckpointJournal, append_record, cell_key
 from repro.framework.runner import IMFramework
 from repro.graph.digraph import DiGraph
 
@@ -269,8 +270,53 @@ class TestJournal:
         CheckpointJournal(path).record(key, RunRecord("X", "WC", 3, STATUS_OK))
         with open(path, "a") as handle:
             handle.write('{"key": "half-written cell, no closing')
-        journal = CheckpointJournal(path)
+        with pytest.warns(RuntimeWarning, match="torn trailing"):
+            journal = CheckpointJournal(path)
         assert len(journal) == 1 and key in journal
+        assert journal.torn_tail_bytes > 0
+
+    def test_truncated_mid_record_repairs_and_reruns_cell(self, tmp_path):
+        """A kill mid-append loses only the cell being written.
+
+        The torn tail is physically truncated away on load (so the file is
+        back on a clean line boundary) and the affected cell reads as
+        missing — i.e. it will re-run, never resume from half a record.
+        """
+        path = tmp_path / "journal.jsonl"
+        key_a = cell_key("A", {}, 3, model="WC")
+        key_b = cell_key("B", {}, 3, model="WC")
+        journal = CheckpointJournal(path)
+        journal.record(key_a, RunRecord("A", "WC", 3, STATUS_OK, seeds=[1]))
+        clean_size = path.stat().st_size
+        journal.record(key_b, RunRecord("B", "WC", 3, STATUS_OK, seeds=[2]))
+        # Kill the writer mid-way through the second record's bytes.
+        os.truncate(path, clean_size + (path.stat().st_size - clean_size) // 2)
+        with pytest.warns(RuntimeWarning, match="torn trailing"):
+            reloaded = CheckpointJournal(path)
+        assert key_a in reloaded and reloaded.get(key_a).seeds == [1]
+        assert key_b not in reloaded  # the torn cell re-runs
+        assert reloaded.torn_tail_bytes > 0
+        assert path.stat().st_size == clean_size  # repaired on disk
+
+    def test_append_after_torn_tail_does_not_concatenate(self, tmp_path):
+        """Appending to an unrepaired torn tail must not merge records.
+
+        ``append_record`` guards the line boundary itself, so even a writer
+        that never went through ``CheckpointJournal._load`` (no repair pass)
+        cannot glue its record onto a killed predecessor's fragment.
+        """
+        path = tmp_path / "journal.jsonl"
+        key_a = cell_key("A", {}, 1, model="IC")
+        key_b = cell_key("B", {}, 1, model="IC")
+        CheckpointJournal(path).record(key_a, RunRecord("A", "IC", 1, STATUS_OK))
+        os.truncate(path, path.stat().st_size - 7)  # torn: no trailing newline
+        append_record(RunRecord("B", "IC", 1, STATUS_OK, seeds=[9]), path, key=key_b)
+        # The fragment became a complete-but-unparsable interior line, so
+        # the reload skips it without a torn-tail warning.
+        reloaded = CheckpointJournal(path)
+        assert key_b in reloaded and reloaded.get(key_b).seeds == [9]
+        assert key_a not in reloaded  # its fragment was skipped, not merged
+        assert reloaded.torn_tail_bytes == 0
 
     def test_non_ok_cells_journaled_too(self, tmp_path):
         path = tmp_path / "journal.jsonl"
