@@ -150,9 +150,13 @@ def vertex_cover(graph: DiGraph) -> np.ndarray:
     return np.frombuffer(bytes(cov), dtype=np.uint8).astype(bool)
 
 
-def _sigma_plain(graph: DiGraph, nodes: np.ndarray, eta: float,
+def _sigma_plain(graph: DiGraph, eta: float, nodes: np.ndarray,
                  budget: Any = None) -> np.ndarray:
-    """σ(v) for each v in ``nodes`` over the full graph (worker-safe)."""
+    """σ(v) for each v in ``nodes`` over the full graph (worker-safe).
+
+    Chunk-invariant operands lead — the pool's shared-args convention,
+    so the graph ships once per worker (shm arena when big enough).
+    """
     allowed = np.ones(graph.n, dtype=bool)
     return np.array([
         simpath_spread(graph, int(v), allowed, eta, budget=budget)
@@ -160,15 +164,15 @@ def _sigma_plain(graph: DiGraph, nodes: np.ndarray, eta: float,
     ], dtype=np.float64)
 
 
-def _sigma_cover(graph: DiGraph, vnodes: np.ndarray, eta: float,
-                 cov: np.ndarray, budget: Any = None
+def _sigma_cover(graph: DiGraph, eta: float, cov: np.ndarray,
+                 vnodes: np.ndarray, budget: Any = None
                  ) -> tuple[np.ndarray, np.ndarray]:
     """σ(v) for covered nodes plus the independent-set contributions.
 
     Returns ``(sigmas, contrib)`` where ``contrib[u]`` accumulates
     ``w(u,v) · (σ(v) − through_v(u))`` over the processed v for every
     uncovered in-neighbor u — summable across chunks, so the pass fans
-    out cleanly.
+    out cleanly.  Chunk-invariant operands lead (shared-args convention).
     """
     n = graph.n
     allowed = np.ones(n, dtype=bool)
@@ -223,17 +227,18 @@ class SIMPATH(IMAlgorithm):
                 spans = _worker_chunks(vnodes.size, workers)
                 parts = run_chunks(
                     _sigma_cover,
-                    [(graph, vnodes[lo:hi], self.eta, cov) for lo, hi in spans],
+                    [(vnodes[lo:hi],) for lo, hi in spans],
                     workers=len(spans),
                     label="simpath.sigma_cover",
                     tick=lambda: self._tick(budget),
+                    shared=(graph, self.eta, cov),
                 )
                 contrib = np.zeros(n, dtype=np.float64)
                 for __, part in parts:
                     contrib += part
                 sigma[vnodes] = np.concatenate([sig for sig, __ in parts])
             else:
-                sig, contrib = _sigma_cover(graph, vnodes, self.eta, cov,
+                sig, contrib = _sigma_cover(graph, self.eta, cov, vnodes,
                                             budget=budget)
                 sigma[vnodes] = sig
             rest = ~cov
@@ -246,10 +251,11 @@ class SIMPATH(IMAlgorithm):
             nodes = np.arange(n, dtype=np.int64)
             parts = run_chunks(
                 _sigma_plain,
-                [(graph, nodes[lo:hi], self.eta) for lo, hi in spans],
+                [(nodes[lo:hi],) for lo, hi in spans],
                 workers=len(spans),
                 label="simpath.sigma_plain",
                 tick=lambda: self._tick(budget),
+                shared=(graph, self.eta),
             )
             return np.concatenate(parts)
         allowed = np.ones(n, dtype=bool)

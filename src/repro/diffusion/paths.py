@@ -145,14 +145,16 @@ class PathBatch:
 
 def _kernel_chunk(
     graph,
-    sources: np.ndarray,
     threshold: float,
     reverse: bool,
     blocked: np.ndarray | None,
+    sources: np.ndarray,
 ) -> tuple[np.ndarray, ...]:
     """Serial batched kernel over one chunk of sources (worker-safe).
 
     Returns flat ``(ptr, node, pp, parent_pos, parent_w, first_rank)``.
+    The chunk-invariant operands lead and ``sources`` trails, matching
+    the pool's shared-args convention (``fn(*shared, *args)``).
     """
     n = graph.n
     if reverse:  # search toward the source along in-edges (MIIA / LDAG)
@@ -385,6 +387,46 @@ def _worker_chunks(count: int, workers: int) -> list[tuple[int, int]]:
     return [(int(e - s), int(e)) for s, e in zip(sizes, ends)]
 
 
+def _partition_permutation(graph, items: np.ndarray) -> np.ndarray | None:
+    """Stable permutation grouping ``items`` by edge-cut shard label.
+
+    Active only when sharding is armed (``REPRO_BENCH_SHARDS`` > 1):
+    sources that live in the same graph region land in the same chunks,
+    so each shard's workers touch a smaller slice of the shared CSR.
+    Safe because every kernel row is computed independently of its batch
+    companions — regrouping changes scheduling, never values — and the
+    caller scatters rows back to input order, keeping the result
+    byte-identical to the ungrouped run (pinned by the sharding suite).
+    """
+    from ..framework.pool import PoolConfig  # lazy: import cycle
+
+    shards = PoolConfig.from_env().shards
+    if shards <= 1 or len(items) <= shards:
+        return None
+    from ..graph.partition import edge_cut_partition
+
+    labels = edge_cut_partition(graph, shards)
+    _tele().count("paths.partition_grouped", len(items))
+    return np.argsort(labels[items], kind="stable")
+
+
+def _gather_rows(merged: tuple[np.ndarray, ...], order: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Reorder the rows of a flat kernel result to ``order``.
+
+    ``merged`` is ``(ptr, node, pp, parent_pos, parent_w, first_rank)``;
+    all payload fields are row-local (positions index within the row's
+    slice), so a pure row gather is exact.
+    """
+    ptr = merged[0]
+    lens = np.diff(ptr)[order]
+    new_ptr = np.concatenate(([0], np.cumsum(lens, dtype=np.int64)))
+    idx = (
+        np.repeat(ptr[:-1][order] - new_ptr[:-1], lens)
+        + np.arange(int(new_ptr[-1]), dtype=np.int64)
+    )
+    return tuple([new_ptr] + [merged[j][idx] for j in range(1, len(merged))])
+
+
 def batched_max_prob_paths(
     graph,
     sources,
@@ -411,19 +453,23 @@ def batched_max_prob_paths(
         if workers is not None and workers > 1 and len(sources) > 1:
             from ..framework.pool import run_chunks  # lazy: import cycle
 
-            spans = _worker_chunks(len(sources), workers)
+            # Partition-aware sharding: group sources by shard label so
+            # chunks have CSR locality, then scatter the rows back.
+            perm = _partition_permutation(graph, sources)
+            run_sources = sources if perm is None else sources[perm]
+            spans = _worker_chunks(len(run_sources), workers)
             tele.count("paths.worker_chunks", len(spans))
             # The kernel is deterministic, so the resilient pool can
             # replay a lost chunk exactly; parts merge in span order.
+            # The graph and search parameters are chunk-invariant and
+            # ride the shared-args transport (shm arena when big enough).
             parts = run_chunks(
                 _kernel_chunk,
-                [
-                    (graph, sources[lo:hi], threshold, reverse, blocked)
-                    for lo, hi in spans
-                ],
+                [(run_sources[lo:hi],) for lo, hi in spans],
                 workers=len(spans),
                 label="paths.dijkstra_batch",
                 tick=tick,
+                shared=(graph, threshold, reverse, blocked),
             )
             ptrs = [parts[0][0]]
             for part in parts[1:]:
@@ -431,8 +477,12 @@ def batched_max_prob_paths(
             merged = tuple([np.concatenate(ptrs)] + [
                 np.concatenate([part[j] for part in parts]) for j in range(1, 6)
             ])
+            if perm is not None:
+                inverse = np.empty_like(perm)
+                inverse[perm] = np.arange(perm.size, dtype=np.int64)
+                merged = _gather_rows(merged, inverse)
         else:
-            merged = _kernel_chunk(graph, sources, threshold, reverse, blocked)
+            merged = _kernel_chunk(graph, threshold, reverse, blocked, sources)
             if tick is not None:
                 tick()
     tele.count("paths.dijkstra_sources", len(sources))
@@ -540,14 +590,15 @@ def _trees_from_batch(batch: PathBatch) -> list[LocalTree]:
     return trees
 
 
-def _dag_chunk(graph, roots, eta) -> tuple[tuple[np.ndarray, ...], tuple[np.ndarray, ...]]:
+def _dag_chunk(graph, eta, roots) -> tuple[tuple[np.ndarray, ...], tuple[np.ndarray, ...]]:
     """Kernel chunk + intra-DAG edge extraction (worker-safe).
 
     Edges are recovered in row blocks against a reused dense
     (row, node) → settle-rank scratch, with non-member sources
-    compressed away before the weight gather.
+    compressed away before the weight gather.  Chunk-invariant operands
+    lead (the pool's shared-args convention).
     """
-    flat = _kernel_chunk(graph, roots, eta, True, None)
+    flat = _kernel_chunk(graph, eta, True, None, roots)
     ptr, node = flat[0], flat[1]
     n = graph.n
     nr = len(roots)
@@ -856,20 +907,32 @@ def build_dag_store(
         if workers is not None and workers > 1 and graph.n > 1:
             from ..framework.pool import run_chunks  # lazy: import cycle
 
+            # Same partition grouping + scatter-back as the tree build:
+            # per-root results are batch-independent, so only scheduling
+            # changes and the store comes out byte-identical.
+            perm = _partition_permutation(graph, roots)
+            run_roots = roots if perm is None else roots[perm]
             spans = _worker_chunks(graph.n, workers)
             tele.count("paths.worker_chunks", len(spans))
             parts = run_chunks(
                 _dag_chunk,
-                [(graph, roots[lo:hi], eta) for lo, hi in spans],
+                [(run_roots[lo:hi],) for lo, hi in spans],
                 workers=len(spans),
                 label="paths.build_structures",
                 tick=tick,
+                shared=(graph, eta),
             )
-            dags: list[LocalDag] = []
+            built: list[LocalDag] = []
             for (lo, hi), (flat, edges) in zip(spans, parts):
-                dags.extend(_dags_from_chunk(roots[lo:hi], flat, edges))
+                built.extend(_dags_from_chunk(run_roots[lo:hi], flat, edges))
+            if perm is None:
+                dags = built
+            else:
+                dags = [built[0]] * len(built)
+                for j, dag in enumerate(built):
+                    dags[int(perm[j])] = dag
         else:
-            flat, edges = _dag_chunk(graph, roots, eta)
+            flat, edges = _dag_chunk(graph, eta, roots)
             dags = _dags_from_chunk(roots, flat, edges)
             if tick is not None:
                 tick()

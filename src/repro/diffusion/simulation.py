@@ -202,13 +202,13 @@ def _parallel_samples(
     _tele().count("mc.worker_chunks", len(chunks))
     # Chunks draw from spawn-key-derived streams, so a lost chunk replays
     # byte-identically and the concatenation order is fixed by chunk index.
+    # The graph, seed set and dynamics are chunk-invariant and travel via
+    # the shared-args transport (shm arena / once-per-worker pickle).
     parts = run_chunks(
         _simulate_chunk,
-        [
-            (graph, seed_list, dynamics, int(c), s, batch)
-            for c, s in zip(chunks, states)
-        ],
+        [(int(c), s, batch) for c, s in zip(chunks, states)],
         workers=len(chunks),
         label="mc.spread",
+        shared=(graph, seed_list, dynamics),
     )
     return np.concatenate(parts)

@@ -41,6 +41,29 @@ output byte-identical to the fault-free run — asserted end-to-end by
 ``tests/test_pool_faults.py`` (chaos suite) and property-tested in
 ``tests/test_pool_replay.py``.
 
+**Shared-args transport.**  Chunks often share big immutable operands —
+the graph CSR above all.  ``run_chunks(..., shared=(graph, ...))``
+hoists them out of the per-chunk tuples: serial paths call
+``fn(*shared, *args)`` on the original objects, and parallel paths ship
+the shared tuple once per worker through the executor initializer —
+zero-copy via :mod:`repro.framework.shm` when the payload is big enough
+(named shared-memory segments, workers attach by handle), ordinary
+pickle otherwise.  Either way the per-chunk dispatch payload is O(1) in
+graph size.  The arena is torn down in a ``finally`` so every exit path
+— completion, quarantine, interrupt, serial downgrade — unlinks its
+segments.
+
+**Sharding.**  ``REPRO_BENCH_SHARDS`` / :func:`shards_env` split a
+fan-out into round-robin buckets of chunk indices executed bucket by
+bucket through the same recovery machinery (shared restart budget).
+Sharding is a pure *scheduling* layer: chunk contents are untouched and
+results still commit by chunk index, so a sharded run is byte-identical
+to an unsharded one — it just bounds how many chunks are in flight, so
+concurrent sweeps or graphs bigger than one worker set's budget can
+time-share the machine.  Locality-aware chunk *composition* (grouping
+sources by graph partition) lives with the engines that can prove it
+result-invariant (see :func:`repro.diffusion.paths.batched_max_prob_paths`).
+
 :class:`ChunkFaultInjector` is the test harness: rate-controlled
 kill / hang / corrupt / raise faults, armed through ``REPRO_FAULT_*``
 environment variables so they reach the worker wrapper in any process.
@@ -80,6 +103,7 @@ __all__ = [
     "ChunkFaultInjector",
     "FaultSpec",
     "pool_retries_env",
+    "shards_env",
 ]
 
 
@@ -115,6 +139,7 @@ class PoolConfig:
     * ``REPRO_POOL_MAX_RESTARTS``  → :attr:`max_restarts`
     * ``REPRO_POOL_STALL_TIMEOUT`` → :attr:`stall_timeout_seconds`
     * ``REPRO_POOL_BACKOFF``       → :attr:`backoff_seconds`
+    * ``REPRO_BENCH_SHARDS``       → :attr:`shards`
     """
 
     #: Attributable failures (chunk exception, corrupt result) tolerated
@@ -130,6 +155,9 @@ class PoolConfig:
     backoff_seconds: float = 0.05
     #: Seconds to wait for a terminated worker before SIGKILL.
     grace_seconds: float = 1.0
+    #: Round-robin buckets a fan-out is split into (1 disables sharding).
+    #: Pure scheduling — results are byte-identical at any shard count.
+    shards: int = 1
 
     @classmethod
     def from_env(cls) -> "PoolConfig":
@@ -139,6 +167,7 @@ class PoolConfig:
             stall_timeout_seconds=_env_float("REPRO_POOL_STALL_TIMEOUT", None),
             backoff_seconds=_env_float("REPRO_POOL_BACKOFF", cls.backoff_seconds)
             or cls.backoff_seconds,
+            shards=max(1, _env_int("REPRO_BENCH_SHARDS", cls.shards)),
         )
 
 
@@ -156,6 +185,29 @@ def pool_retries_env(retries: int | None) -> Iterator[None]:
     key = "REPRO_BENCH_POOL_RETRIES"
     previous = os.environ.get(key)
     os.environ[key] = str(int(retries))
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = previous
+
+
+@contextmanager
+def shards_env(shards: int | None) -> Iterator[None]:
+    """Scoped override of ``REPRO_BENCH_SHARDS`` (no-op for ``None``).
+
+    Same environment-based scoping as :func:`pool_retries_env`, so the
+    shard count reaches every pool opened below the current frame —
+    including the engines' lazily-opened fan-outs and isolated children.
+    """
+    if shards is None:
+        yield
+        return
+    key = "REPRO_BENCH_SHARDS"
+    previous = os.environ.get(key)
+    os.environ[key] = str(int(shards))
     try:
         yield
     finally:
@@ -316,11 +368,14 @@ def _execute_chunk(
     index: int,
     attempt: int,
     spec: FaultSpec | None,
-) -> tuple[int, int | None, Any]:
+    has_shared: bool = False,
+) -> tuple[int, int | None, Any, dict[str, int] | None]:
     """Worker-side wrapper: run one chunk, applying any armed fault.
 
-    Returns ``(index, digest, value)``; ``digest`` is ``None`` (and no
-    extra pickling happens) when no injector is armed.
+    Returns ``(index, digest, value, meta)``; ``digest`` is ``None`` (and
+    no extra pickling happens) when no injector is armed.  ``meta``
+    carries worker-side counter deltas (shared-memory attaches) for the
+    parent to fold into its telemetry — ``None`` when there are none.
     """
     fired = spec is not None and fault_fires(spec, index, attempt)
     if fired:
@@ -334,13 +389,20 @@ def _execute_chunk(
             deadline = time.perf_counter() + spec.hang_seconds
             while time.perf_counter() < deadline:
                 time.sleep(0.02)
-    value = fn(*args)
+    meta = None
+    if has_shared:
+        from . import shm as _shm  # lazy: pickle-only pools skip numpy
+
+        value = fn(*_shm.worker_shared(), *args)
+        meta = _shm.attach_meta()
+    else:
+        value = fn(*args)
     if spec is None:
-        return index, None, value
+        return index, None, value, meta
     digest = _result_digest(value)
     if fired and spec.mode == "corrupt":
         value = ("__corrupt__", value)
-    return index, digest, value
+    return index, digest, value, meta
 
 
 # ----------------------------------------------------------------------
@@ -374,6 +436,7 @@ class ResilientPool:
         *,
         workers: int | None = None,
         tick: Callable[[], None] | None = None,
+        shared: Sequence[Any] | None = None,
     ) -> list[Any]:
         """Execute every chunk and return results in chunk-index order.
 
@@ -383,55 +446,113 @@ class ResilientPool:
         shared between chunks.  ``tick`` runs in the parent after each
         chunk commits (budget checks).  ``workers`` defaults to one per
         chunk, matching the engines' historical fan-out shape.
+
+        ``shared`` holds big immutable operands common to every chunk;
+        workers receive them prepended — ``fn(*shared, *args)`` — but
+        they travel once per worker (shared-memory arena or pickled
+        initializer payload), never once per chunk.  Serial paths use
+        the original objects directly, so results are transport-
+        independent.
         """
         n = len(arg_tuples)
         if n == 0:
             return []
+        shared = tuple(shared) if shared else ()
         workers = n if workers is None else max(1, min(int(workers), n))
         if workers == 1 or n == 1:
-            return self._run_serial(fn, arg_tuples, range(n), tick, downgrade=False)
+            return self._run_serial(
+                fn, arg_tuples, range(n), tick, downgrade=False, shared=shared
+            )
         if multiprocessing.current_process().daemon:
             # Daemonic processes (e.g. the isolated-executor worker) may
             # not spawn children, so a nested fan-out runs the same
             # chunks serially — byte-identical, just not parallel.
             _telemetry.current().count("pool.nested_serial")
-            return self._run_serial(fn, arg_tuples, range(n), tick, downgrade=False)
+            return self._run_serial(
+                fn, arg_tuples, range(n), tick, downgrade=False, shared=shared
+            )
 
         cfg = self.config
         tele = _telemetry.current()
         spec = active_fault_spec()
         tele.count("pool.chunks", n)
+        shards = max(1, min(int(cfg.shards), n))
+        if shards > 1:
+            tele.count("pool.shards", shards)
+        # Round-robin buckets of chunk indices, executed bucket by bucket
+        # through the same recovery ladder.  Chunk contents and commit
+        # order are untouched, so output is byte-identical at any shard
+        # count — sharding only bounds how many chunks are in flight.
+        buckets = [list(range(s, n, shards)) for s in range(shards)]
+        payload, arena = shared, None
+        if shared:
+            from . import shm as _shm  # lazy: pickle-only pools skip numpy
+
+            payload, arena = _shm.export_shared(shared, label=self.label)
         results: list[Any] = [_UNSET] * n
         attempts = [0] * n  # total executions started (varies fault draws)
         failures = [0] * n  # attributable failures (counts toward quarantine)
-        remaining = set(range(n))
         restarts = 0
-        while remaining:
-            if restarts > cfg.max_restarts:
-                tele.count("pool.serial_downgrades")
-                serial = self._run_serial(
-                    fn, arg_tuples, sorted(remaining), tick, downgrade=True
-                )
-                for i, value in zip(sorted(remaining), serial):
-                    results[i] = value
-                break
-            executor = ProcessPoolExecutor(
-                max_workers=min(workers, len(remaining))
-            )
-            try:
-                collapsed = self._drain(
-                    executor, fn, arg_tuples, spec,
-                    results, attempts, failures, remaining, tick,
-                )
-            except BaseException:
-                self._shutdown(executor, force=True)
-                raise
-            self._shutdown(executor, force=collapsed)
-            if collapsed and remaining:
-                restarts += 1
-                tele.count("pool.worker_restarts")
-                tele.count("pool.chunks_salvaged", n - len(remaining))
+        try:
+            for bucket in buckets:
+                remaining = set(bucket)
+                while remaining:
+                    if restarts > cfg.max_restarts:
+                        tele.count("pool.serial_downgrades")
+                        serial = self._run_serial(
+                            fn, arg_tuples, sorted(remaining), tick,
+                            downgrade=True, shared=shared,
+                        )
+                        for i, value in zip(sorted(remaining), serial):
+                            results[i] = value
+                        break
+                    executor = self._spawn_executor(
+                        min(workers, len(remaining)), shared, payload
+                    )
+                    try:
+                        collapsed = self._drain(
+                            executor, fn, arg_tuples, spec,
+                            results, attempts, failures, remaining, tick,
+                            has_shared=bool(shared),
+                        )
+                    except BaseException:
+                        self._shutdown(executor, force=True)
+                        raise
+                    self._shutdown(executor, force=collapsed)
+                    if collapsed and remaining:
+                        restarts += 1
+                        tele.count("pool.worker_restarts")
+                        tele.count(
+                            "pool.chunks_salvaged",
+                            len(bucket) - len(remaining),
+                        )
+        finally:
+            if arena is not None:
+                # Unlink on every exit path (interrupt included); workers
+                # still holding mappings keep the pages via the kernel
+                # refcount until they terminate.
+                arena.close()
         return results
+
+    def _spawn_executor(
+        self, max_workers: int, shared: tuple, payload: Any
+    ) -> ProcessPoolExecutor:
+        """One executor generation, with the shared payload installed.
+
+        The initializer ships ``payload`` exactly once per worker — for
+        the arena path that is O(1) descriptors; for the pickle fallback
+        it is the one serialization of the shared objects that the
+        per-chunk tuples no longer carry.
+        """
+        if not shared:
+            return ProcessPoolExecutor(max_workers=max_workers)
+        from . import shm as _shm  # lazy: pickle-only pools skip numpy
+
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_shm._worker_init,
+            initargs=(payload,),
+        )
 
     # -- internals ------------------------------------------------------
 
@@ -442,17 +563,20 @@ class ResilientPool:
         indexes,
         tick: Callable[[], None] | None,
         downgrade: bool,
+        shared: tuple = (),
     ) -> list[Any]:
         """In-process execution: the no-fan-out path and the last resort.
 
         Faults are never injected here — serial execution is the
         correctness backstop, and a ``kill`` fired in-process would take
-        the parent down with it.
+        the parent down with it.  ``shared`` objects are used directly
+        (no transport at all), so a serial downgrade is byte-identical
+        to the arena path it replaces.
         """
         out: list[Any] = []
         for i in indexes:
             try:
-                out.append(fn(*arg_tuples[i]))
+                out.append(fn(*shared, *arg_tuples[i]))
             except Exception as exc:
                 if not downgrade:
                     raise
@@ -477,9 +601,11 @@ class ResilientPool:
         spec: FaultSpec | None,
         attempts: list[int],
         index: int,
+        has_shared: bool = False,
     ) -> Future:
         future = executor.submit(
-            _execute_chunk, fn, arg_tuples[index], index, attempts[index], spec
+            _execute_chunk, fn, arg_tuples[index], index, attempts[index], spec,
+            has_shared,
         )
         attempts[index] += 1
         return future
@@ -495,12 +621,14 @@ class ResilientPool:
         failures: list[int],
         remaining: set[int],
         tick: Callable[[], None] | None,
+        has_shared: bool = False,
     ) -> bool:
         """One executor generation; returns True when it collapsed."""
         cfg = self.config
         tele = _telemetry.current()
         futures: dict[Future, int] = {
-            self._submit(executor, fn, arg_tuples, spec, attempts, i): i
+            self._submit(executor, fn, arg_tuples, spec, attempts, i,
+                         has_shared): i
             for i in sorted(remaining)
         }
         pending = set(futures)
@@ -524,7 +652,12 @@ class ResilientPool:
                     collapsed = True
                     continue
                 if error is None:
-                    __, digest, value = future.result()
+                    __, digest, value, meta = future.result()
+                    if meta:
+                        # Worker-side counter deltas (shm attaches) fold
+                        # into the parent's telemetry stream.
+                        for key, delta in meta.items():
+                            tele.count(key, delta)
                     if digest is not None and digest != _result_digest(value):
                         tele.count("pool.corrupt_results")
                         error = PoolError(
@@ -554,7 +687,8 @@ class ResilientPool:
                 time.sleep(cfg.backoff_seconds * 2.0 ** (failures[index] - 1))
                 try:
                     retry = self._submit(
-                        executor, fn, arg_tuples, spec, attempts, index
+                        executor, fn, arg_tuples, spec, attempts, index,
+                        has_shared,
                     )
                 except (BrokenProcessPool, RuntimeError):
                     # The executor died under us mid-retry; the chunk is
@@ -606,12 +740,15 @@ def run_chunks(
     label: str | None = None,
     tick: Callable[[], None] | None = None,
     config: PoolConfig | None = None,
+    shared: Sequence[Any] | None = None,
 ) -> list[Any]:
     """Run deterministic chunks through a :class:`ResilientPool`.
 
     The single entry point every engine fans out through — no ad-hoc
     ``ProcessPoolExecutor`` call sites remain outside this module.
+    ``shared`` carries the chunk-invariant operands (graph CSR, masks)
+    once per worker instead of once per chunk; see :meth:`ResilientPool.run`.
     """
     return ResilientPool(config=config, label=label).run(
-        fn, arg_tuples, workers=workers, tick=tick
+        fn, arg_tuples, workers=workers, tick=tick, shared=shared
     )

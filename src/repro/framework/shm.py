@@ -1,0 +1,494 @@
+"""Zero-copy shared-memory transport for pool chunk arguments.
+
+Every parallel fan-out used to pickle its big immutable operands — the
+``DiGraph`` CSR above all — into each worker, so worker start-up cost
+scaled with graph size times worker count and each worker held a private
+copy.  This module publishes those arrays once into named
+``multiprocessing.shared_memory`` segments and ships only :class:`ShmRef`
+descriptors; workers attach by name and wrap the segment in a read-only
+numpy view, so the per-worker payload is O(1) in graph size and the pages
+are shared, not copied.
+
+Transport contract (the pool calls :func:`export_shared` /
+:func:`worker_shared`; everything else is plumbing):
+
+* **Structural encoding** — tuples / lists / dicts are walked
+  recursively; ndarrays at least :data:`INLINE_BYTES` big become
+  :class:`ShmRef`, smaller ones stay inline (a segment per tiny array
+  costs more than it saves).  Registered composite types (``DiGraph``,
+  ``FlatRRPool``, ``Snapshot`` by default — :func:`register_shm_handler`
+  adds more) are exploded into a state dict whose arrays take the same
+  path, and reassembled on the worker without recomputation.
+* **Fallback** — when shm is disabled (``REPRO_SHM_DISABLE``), the
+  eligible payload is below ``REPRO_SHM_MIN_BYTES`` (default 1 MiB), or
+  segment creation fails (``OSError``: no ``/dev/shm``, rlimits), the
+  original objects are returned untouched and ride ordinary pickle —
+  still hoisted to once-per-worker by the pool's initializer, never
+  per-chunk.
+* **Lifecycle** — the parent's :class:`ShmArena` owns every segment it
+  published and unlinks them in ``close()`` (idempotent; invoked from
+  the pool's ``finally`` so interrupts unlink too, and backstopped by
+  ``atexit``).  Workers only ever attach; the kernel refcounts the
+  mappings, so a parent-side unlink while workers still hold views is
+  safe — the pages persist until the last map drops.  Under the fork
+  start method all processes share one ``resource_tracker``, whose
+  per-name registry collapses the workers' duplicate registrations, so
+  the single parent unlink leaves neither leaked segments nor tracker
+  warnings.
+* **Attach accounting** — each worker process attaches a segment at most
+  once (per-process cache) and counts it; the pool ships the per-chunk
+  delta back and folds it into the parent's telemetry as ``shm.attach``.
+  A respawned worker starts with a cold cache, so re-attaches after a
+  crash are visible in the counter — the chaos suite asserts workers
+  re-attach rather than re-copy.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable
+
+import numpy as np
+
+from . import telemetry as _telemetry
+
+__all__ = [
+    "ShmRef",
+    "ShmArena",
+    "shm_enabled",
+    "shm_min_bytes",
+    "export_shared",
+    "resolve_shared",
+    "register_shm_handler",
+    "shm_segment_of",
+    "SEGMENT_PREFIX",
+    "INLINE_BYTES",
+]
+
+#: Segment names start with this (plus pid), so tests can assert that
+#: ``/dev/shm`` holds no ``repro_shm_*`` leftovers after any code path.
+SEGMENT_PREFIX = "repro_shm"
+
+#: Arrays smaller than this stay inline in the pickled payload.
+INLINE_BYTES = 4096
+
+_DEFAULT_MIN_BYTES = 1 << 20
+
+
+def shm_enabled() -> bool:
+    """Shared-memory transport is available and not disabled via env."""
+    flag = os.environ.get("REPRO_SHM_DISABLE", "")
+    return not (flag and flag != "0")
+
+
+def shm_min_bytes() -> int:
+    """Minimum total eligible bytes before the arena is worth opening."""
+    raw = os.environ.get("REPRO_SHM_MIN_BYTES", "")
+    try:
+        return int(raw) if raw else _DEFAULT_MIN_BYTES
+    except ValueError:
+        return _DEFAULT_MIN_BYTES
+
+
+# ----------------------------------------------------------------------
+# Descriptors
+
+@dataclass(frozen=True)
+class ShmRef:
+    """A named shared-memory segment holding one C-contiguous ndarray."""
+
+    segment: str
+    descr: Any  # np.lib.format dtype descriptor (str or list)
+    shape: tuple[int, ...]
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class _Composite:
+    """A registered object exploded into an encodable state tree."""
+
+    key: str
+    state: Any
+
+
+# ----------------------------------------------------------------------
+# Type handlers
+
+#: key -> (class, export obj->state, restore state->obj).  The class slot
+#: is resolved lazily so importing this module never drags in the engines.
+_HANDLERS: dict[str, tuple[type, Callable[[Any], Any], Callable[[Any], Any]]] = {}
+_DEFAULTS_LOADED = False
+
+
+def register_shm_handler(
+    key: str,
+    cls: type,
+    export: Callable[[Any], Any],
+    restore: Callable[[Any], Any],
+) -> None:
+    """Teach the transport a composite type.
+
+    ``export`` returns a picklable state tree (its ndarrays are published
+    like any other); ``restore`` rebuilds the object from the resolved
+    state on the worker.  The round trip must not recompute derived
+    structure — that is the whole point of shipping it.
+    """
+    _HANDLERS[key] = (cls, export, restore)
+
+
+def _load_default_handlers() -> None:
+    """Register DiGraph / FlatRRPool / Snapshot handlers, best-effort.
+
+    Lazy and tolerant: the handlers only matter once one of these types
+    crosses a pool boundary, by which point its module is imported; a
+    stripped-down install without the engines still gets plain-array
+    transport.
+    """
+    global _DEFAULTS_LOADED
+    if _DEFAULTS_LOADED:
+        return
+    _DEFAULTS_LOADED = True
+    try:
+        from ..graph.digraph import DiGraph
+
+        register_shm_handler(
+            "repro.digraph",
+            DiGraph,
+            lambda g: {
+                "n": g.n,
+                "arrays": (g.out_ptr, g.out_dst, g.out_w,
+                           g.in_ptr, g.in_src, g.in_w, g._in_perm),
+            },
+            lambda state: __import__(
+                "repro.graph.digraph", fromlist=["DiGraph"]
+            ).DiGraph(state["n"], *state["arrays"]),
+        )
+    except ImportError:  # pragma: no cover - partial install
+        pass
+    try:
+        from ..diffusion.rrpool import FlatRRPool
+
+        def _export_rrpool(pool):
+            pool._compact()
+            return {
+                "n": pool.n,
+                "ptr": pool._ptr,
+                "nodes": pool._nodes,
+                "widths": pool._widths,
+                "node_ptr": pool._node_ptr,
+                "node_sets": pool._node_sets,
+            }
+
+        def _restore_rrpool(state):
+            from ..diffusion.rrpool import FlatRRPool
+
+            segs = tuple(
+                seg for seg in (
+                    shm_segment_of(state[k])
+                    for k in ("ptr", "nodes", "widths", "node_ptr", "node_sets")
+                    if state[k] is not None
+                ) if seg is not None
+            )
+            return FlatRRPool.from_csr(
+                state["n"], state["ptr"], state["nodes"], state["widths"],
+                node_ptr=state["node_ptr"], node_sets=state["node_sets"],
+                shm_segments=segs,
+            )
+
+        register_shm_handler(
+            "repro.rrpool", FlatRRPool, _export_rrpool, _restore_rrpool
+        )
+    except ImportError:  # pragma: no cover - partial install
+        pass
+    try:
+        from ..diffusion.snapshots import Snapshot
+
+        register_shm_handler(
+            "repro.snapshot",
+            Snapshot,
+            lambda s: {"graph": s.graph, "live": s.live},
+            lambda state: __import__(
+                "repro.diffusion.snapshots", fromlist=["Snapshot"]
+            ).Snapshot(graph=state["graph"], live=state["live"]),
+        )
+    except ImportError:  # pragma: no cover - partial install
+        pass
+
+
+def _handler_for(obj: Any):
+    _load_default_handlers()
+    for key, (cls, export, __) in _HANDLERS.items():
+        if isinstance(obj, cls):
+            return key, export
+    return None
+
+
+# ----------------------------------------------------------------------
+# The arena (parent side)
+
+#: Arenas not yet closed, for the atexit backstop.  Weak so a collected
+#: arena (which unlinks in __del__ via close) drops out on its own.
+_LIVE_ARENAS: "weakref.WeakSet[ShmArena]" = weakref.WeakSet()
+_ATEXIT_INSTALLED = False
+_NAME_COUNTER = 0
+
+
+def _next_segment_name() -> str:
+    global _NAME_COUNTER
+    _NAME_COUNTER += 1
+    return f"{SEGMENT_PREFIX}_{os.getpid()}_{_NAME_COUNTER}"
+
+
+def _cleanup_live_arenas() -> None:  # pragma: no cover - interpreter exit
+    for arena in list(_LIVE_ARENAS):
+        arena.close()
+
+
+class ShmArena:
+    """Owns the shared-memory segments published for one pool run.
+
+    ``close()`` unlinks everything and is idempotent; the pool calls it
+    from a ``finally`` so every exit path — completion, quarantine,
+    ``KeyboardInterrupt``, serial downgrade — tears the arena down.  The
+    kernel keeps the pages alive for workers still holding mappings.
+    """
+
+    def __init__(self, label: str = "pool") -> None:
+        global _ATEXIT_INSTALLED
+        self.label = label
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.nbytes = 0
+        _LIVE_ARENAS.add(self)
+        if not _ATEXIT_INSTALLED:
+            _ATEXIT_INSTALLED = True
+            atexit.register(_cleanup_live_arenas)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def publish(self, array: np.ndarray) -> ShmRef:
+        """Copy ``array`` into a fresh named segment; returns its ref."""
+        arr = np.asarray(array)
+        if not arr.flags.c_contiguous:
+            arr = np.ascontiguousarray(arr)
+        seg = shared_memory.SharedMemory(
+            name=_next_segment_name(), create=True, size=max(1, arr.nbytes)
+        )
+        if arr.nbytes:
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            view[...] = arr
+        self._segments.append(seg)
+        self.nbytes += arr.nbytes
+        return ShmRef(
+            seg.name,
+            np.lib.format.dtype_to_descr(arr.dtype),
+            tuple(int(s) for s in arr.shape),
+            int(arr.nbytes),
+        )
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for seg in segments:
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            except Exception:  # pragma: no cover - platform quirks
+                pass
+        _LIVE_ARENAS.discard(self)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Encoding (parent side)
+
+def _expand(obj: Any) -> Any:
+    """Explode registered composites; leave everything else in place."""
+    handled = _handler_for(obj)
+    if handled is not None:
+        key, export = handled
+        return _Composite(key, _expand(export(obj)))
+    if isinstance(obj, tuple):
+        return tuple(_expand(v) for v in obj)
+    if isinstance(obj, list):
+        return [_expand(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: _expand(v) for k, v in obj.items()}
+    return obj
+
+
+def _eligible_bytes(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes if obj.nbytes >= INLINE_BYTES else 0
+    if isinstance(obj, _Composite):
+        return _eligible_bytes(obj.state)
+    if isinstance(obj, (tuple, list)):
+        return sum(_eligible_bytes(v) for v in obj)
+    if isinstance(obj, dict):
+        return sum(_eligible_bytes(v) for v in obj.values())
+    return 0
+
+
+def _publish_tree(obj: Any, arena: ShmArena) -> Any:
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes >= INLINE_BYTES:
+            return arena.publish(obj)
+        return obj
+    if isinstance(obj, _Composite):
+        return _Composite(obj.key, _publish_tree(obj.state, arena))
+    if isinstance(obj, tuple):
+        return tuple(_publish_tree(v, arena) for v in obj)
+    if isinstance(obj, list):
+        return [_publish_tree(v, arena) for v in obj]
+    if isinstance(obj, dict):
+        return {k: _publish_tree(v, arena) for k, v in obj.items()}
+    return obj
+
+
+def export_shared(
+    shared: tuple, label: str = "pool"
+) -> tuple[Any, ShmArena | None]:
+    """Encode a shared-args tuple for worker transport.
+
+    Returns ``(payload, arena)``.  With the arena path taken, ``payload``
+    is the encoded tree (composites exploded, big arrays as
+    :class:`ShmRef`) and ``arena`` owns the segments — the caller must
+    ``close()`` it after the last worker is done.  On any fallback the
+    original tuple comes back with ``arena=None`` and travels by pickle.
+    """
+    tele = _telemetry.current()
+    if not shared:
+        return shared, None
+    if shm_enabled():
+        expanded = _expand(shared)
+        if _eligible_bytes(expanded) >= shm_min_bytes():
+            arena = ShmArena(label=label)
+            try:
+                payload = _publish_tree(expanded, arena)
+            except OSError:
+                # No usable /dev/shm (or rlimit hit): pickle still works.
+                arena.close()
+                tele.count("shm.fallbacks")
+            else:
+                tele.count("pool.transport_shm")
+                tele.count("shm.publish_segments", len(arena))
+                tele.count("shm.publish_bytes", arena.nbytes)
+                if tele.enabled:
+                    tele.count("shm.payload_bytes", len(pickle.dumps(
+                        payload, protocol=pickle.HIGHEST_PROTOCOL)))
+                return payload, arena
+    tele.count("pool.transport_pickle")
+    if tele.enabled:
+        tele.count("pool.shared_pickle_bytes", len(pickle.dumps(
+            shared, protocol=pickle.HIGHEST_PROTOCOL)))
+    return shared, None
+
+
+# ----------------------------------------------------------------------
+# Resolution (worker side)
+
+#: Per-process attach cache: segment name -> (SharedMemory, view).  The
+#: SharedMemory handle must stay referenced as long as its views live.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+#: id(view) -> segment name, for provenance queries (``shm_segment_of``).
+_VIEW_SEGMENTS: dict[int, str] = {}
+_ATTACH_TOTAL = 0
+_ATTACH_REPORTED = 0
+
+
+def _attach(ref: ShmRef) -> np.ndarray:
+    """Attach (or reuse) the segment behind ``ref`` as a read-only view."""
+    global _ATTACH_TOTAL
+    cached = _ATTACHED.get(ref.segment)
+    if cached is None:
+        seg = shared_memory.SharedMemory(name=ref.segment)
+        dtype = np.lib.format.descr_to_dtype(ref.descr)
+        view = np.ndarray(ref.shape, dtype=dtype, buffer=seg.buf)
+        view.flags.writeable = False
+        _ATTACHED[ref.segment] = cached = (seg, view)
+        _VIEW_SEGMENTS[id(view)] = ref.segment
+        _ATTACH_TOTAL += 1
+    return cached[1]
+
+
+def resolve_shared(payload: Any) -> Any:
+    """Rebuild the original shared-args structure from an encoded tree."""
+    if isinstance(payload, ShmRef):
+        return _attach(payload)
+    if isinstance(payload, _Composite):
+        _load_default_handlers()
+        try:
+            restore = _HANDLERS[payload.key][2]
+        except KeyError:
+            raise RuntimeError(
+                f"no shm handler registered for {payload.key!r} in this "
+                "process; register_shm_handler must run on both sides"
+            ) from None
+        return restore(resolve_shared(payload.state))
+    if isinstance(payload, tuple):
+        return tuple(resolve_shared(v) for v in payload)
+    if isinstance(payload, list):
+        return [resolve_shared(v) for v in payload]
+    if isinstance(payload, dict):
+        return {k: resolve_shared(v) for k, v in payload.items()}
+    return payload
+
+
+def shm_segment_of(array: Any) -> str | None:
+    """Segment name backing ``array`` if it is an attached view, else None."""
+    return _VIEW_SEGMENTS.get(id(array))
+
+
+def attach_meta() -> dict[str, int] | None:
+    """Attach-counter delta since last call (``None`` when nothing new)."""
+    global _ATTACH_REPORTED
+    delta = _ATTACH_TOTAL - _ATTACH_REPORTED
+    _ATTACH_REPORTED = _ATTACH_TOTAL
+    return {"shm.attach": delta} if delta else None
+
+
+# -- worker initializer -------------------------------------------------
+
+_WORKER_PAYLOAD: Any = None
+_WORKER_RESOLVED: Any = None
+_WORKER_ARMED = False
+
+
+def _worker_init(payload: Any) -> None:
+    """Executor initializer: stash the encoded payload, resolve lazily.
+
+    Pickled once per worker process (via ``initargs``) — for the arena
+    path that is a handful of :class:`ShmRef` descriptors; for the pickle
+    fallback it is the original objects, but still once per worker rather
+    than once per chunk.  Resolution (attach) is deferred to the first
+    chunk so a worker that never runs one never maps the segments.
+    """
+    global _WORKER_PAYLOAD, _WORKER_RESOLVED, _WORKER_ARMED
+    _WORKER_PAYLOAD = payload
+    _WORKER_RESOLVED = None
+    _WORKER_ARMED = True
+
+
+def worker_shared() -> tuple:
+    """The resolved shared-args tuple inside a pool worker."""
+    global _WORKER_RESOLVED
+    if not _WORKER_ARMED:
+        raise RuntimeError(
+            "worker_shared() called without a shared payload: the pool "
+            "must pass shared args through the executor initializer"
+        )
+    if _WORKER_RESOLVED is None:
+        _WORKER_RESOLVED = resolve_shared(_WORKER_PAYLOAD)
+    return _WORKER_RESOLVED

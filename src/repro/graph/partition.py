@@ -1,0 +1,87 @@
+"""Deterministic edge-cut partitioning of a CSR graph.
+
+The sharded fan-out path wants locality-aware work placement: when a
+build is split into shards, grouping sources that live in the same
+region of the graph means each shard's workers touch a smaller working
+set of the (shared) CSR.  This module provides the partitioner —
+balanced label assignment by greedy BFS region growth over the union of
+out- and in-adjacency — plus the edge-cut quality metric.
+
+Determinism is a hard requirement (partition labels feed chunk
+composition, and chunk composition must be a pure function of the
+inputs): growth order is fixed by CSR order and ascending node ids, no
+randomness anywhere.  Balance is likewise hard: every shard except the
+last holds exactly ``ceil(n / shards)`` nodes (the last takes the
+remainder), so a shard can never exceed one worker's node budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .digraph import DiGraph
+
+__all__ = ["edge_cut_partition", "cut_fraction"]
+
+
+def edge_cut_partition(graph: DiGraph, shards: int) -> np.ndarray:
+    """Assign every node a shard label in ``0 .. shards-1``.
+
+    Shards are grown one at a time by BFS over undirected adjacency
+    (out- then in-neighbors, CSR order), seeded at the lowest-id
+    unlabeled node; when a region's frontier dies the next lowest-id
+    unlabeled node reseeds it.  Runs in O(n + m) and is a pure function
+    of the topology.
+    """
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    n = graph.n
+    labels = np.zeros(n, dtype=np.int64)
+    if shards == 1 or n == 0:
+        return labels
+    shards = min(shards, n)
+    labels.fill(-1)
+    target = -(-n // shards)  # ceil: every shard but the last is exact
+    out_ptr, out_dst = graph.out_ptr, graph.out_dst
+    in_ptr, in_src = graph.in_ptr, graph.in_src
+    next_seed = 0
+    for s in range(shards):
+        cap = target if s < shards - 1 else n
+        size = 0
+        queue: deque[int] = deque()
+        while size < cap:
+            if not queue:
+                while next_seed < n and labels[next_seed] >= 0:
+                    next_seed += 1
+                if next_seed >= n:
+                    break
+                labels[next_seed] = s
+                queue.append(next_seed)
+                size += 1
+                continue
+            u = queue.popleft()
+            for ptr, adj in ((out_ptr, out_dst), (in_ptr, in_src)):
+                lo, hi = int(ptr[u]), int(ptr[u + 1])
+                for v in adj[lo:hi]:
+                    if size >= cap:
+                        break
+                    v = int(v)
+                    if labels[v] < 0:
+                        labels[v] = s
+                        queue.append(v)
+                        size += 1
+    # A frontier exhausted exactly at the seed scan's end can leave
+    # stragglers; they join the last shard (balance already satisfied).
+    labels[labels < 0] = shards - 1
+    return labels
+
+
+def cut_fraction(graph: DiGraph, labels: np.ndarray) -> float:
+    """Fraction of edges whose endpoints fall in different shards."""
+    if graph.m == 0:
+        return 0.0
+    labels = np.asarray(labels, dtype=np.int64)
+    return float((labels[graph.edge_src] != labels[graph.out_dst]).mean())

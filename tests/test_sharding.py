@@ -1,0 +1,277 @@
+"""Tests for partition-aware sharded fan-out.
+
+Two layers: the deterministic edge-cut partitioner
+(:mod:`repro.graph.partition`) and the pool's shard scheduling plus the
+path engine's partition-grouped chunk composition.  The load-bearing
+claim everywhere is *byte-identity*: sharding decides scheduling and
+chunk composition, never values, so every engine must produce exactly
+the same seeds/spreads/structures at any shard count.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms.imm import IMM
+from repro.algorithms.ris import RIS
+from repro.diffusion.models import Dynamics, WC
+from repro.diffusion.paths import (
+    _kernel_chunk,
+    batched_max_prob_paths,
+    build_dag_store,
+    build_tree_store,
+)
+from repro.diffusion.simulation import monte_carlo_spread
+from repro.framework.pool import PoolConfig, run_chunks, shards_env
+from repro.framework.telemetry import Telemetry, activate
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import build, powerlaw_configuration
+from repro.graph.partition import cut_fraction, edge_cut_partition
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="process pools need fork/spawn support"
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(7)
+    return WC.weighted(build(powerlaw_configuration(120, 2.3, 4.0, rng)), rng)
+
+
+def _draw_bytes(seed_sequence_state, n):
+    rng = np.random.default_rng(np.random.SeedSequence(**seed_sequence_state))
+    return rng.random(n).tobytes()
+
+
+# ----------------------------------------------------------------------
+# The partitioner
+
+
+class TestEdgeCutPartition:
+    def test_labels_complete_and_in_range(self, graph):
+        for shards in (2, 3, 7):
+            labels = edge_cut_partition(graph, shards)
+            assert labels.shape == (graph.n,)
+            assert labels.min() >= 0 and labels.max() < shards
+
+    def test_balance_is_exact(self, graph):
+        for shards in (2, 3, 5):
+            labels = edge_cut_partition(graph, shards)
+            target = -(-graph.n // shards)
+            counts = np.bincount(labels, minlength=shards)
+            # Every shard except the last holds exactly ceil(n/shards).
+            assert (counts[:-1] == target).all()
+            assert counts.sum() == graph.n
+
+    def test_deterministic(self, graph):
+        a = edge_cut_partition(graph, 4)
+        b = edge_cut_partition(graph, 4)
+        assert np.array_equal(a, b)
+
+    def test_single_shard_and_empty(self):
+        g = DiGraph.from_arrays(5, [0, 1], [1, 2])
+        assert np.array_equal(edge_cut_partition(g, 1), np.zeros(5))
+        empty = DiGraph.from_arrays(0, [], [])
+        assert edge_cut_partition(empty, 3).size == 0
+
+    def test_more_shards_than_nodes_clamps(self):
+        g = DiGraph.from_arrays(3, [0, 1], [1, 2])
+        labels = edge_cut_partition(g, 10)
+        assert labels.max() < 3
+
+    def test_rejects_nonpositive_shards(self, graph):
+        with pytest.raises(ValueError):
+            edge_cut_partition(graph, 0)
+
+    def test_cut_fraction_bounds_and_exactness(self, graph):
+        labels = edge_cut_partition(graph, 3)
+        frac = cut_fraction(graph, labels)
+        assert 0.0 <= frac <= 1.0
+        manual = (
+            labels[graph.edge_src] != labels[graph.out_dst]
+        ).sum() / graph.m
+        assert frac == pytest.approx(manual)
+        # One shard cuts nothing.
+        assert cut_fraction(graph, np.zeros(graph.n, dtype=np.int64)) == 0.0
+
+    def test_bfs_growth_beats_round_robin_cut(self, graph):
+        # The point of region growth: fewer cross-shard edges than a
+        # locality-blind striped assignment of the same balance.
+        labels = edge_cut_partition(graph, 3)
+        striped = np.arange(graph.n, dtype=np.int64) % 3
+        assert cut_fraction(graph, labels) < cut_fraction(graph, striped)
+
+
+# ----------------------------------------------------------------------
+# Configuration plumbing
+
+
+class TestShardConfig:
+    def test_from_env_reads_shards(self, monkeypatch):
+        assert PoolConfig.from_env().shards == 1
+        monkeypatch.setenv("REPRO_BENCH_SHARDS", "5")
+        assert PoolConfig.from_env().shards == 5
+        monkeypatch.setenv("REPRO_BENCH_SHARDS", "0")
+        assert PoolConfig.from_env().shards == 1
+
+    def test_shards_env_scoping(self):
+        key = "REPRO_BENCH_SHARDS"
+        assert os.environ.get(key) is None
+        with shards_env(3):
+            assert os.environ[key] == "3"
+            assert PoolConfig.from_env().shards == 3
+        assert os.environ.get(key) is None
+        with shards_env(None):  # no-op
+            assert os.environ.get(key) is None
+
+
+# ----------------------------------------------------------------------
+# Pool scheduling byte-identity
+
+
+class TestShardedPool:
+    def test_results_identical_at_any_shard_count(self):
+        args = [
+            ({"entropy": 99, "spawn_key": (i,)}, 500) for i in range(6)
+        ]
+        baseline = run_chunks(_draw_bytes, args, workers=3)
+        for shards in (2, 3, 6):
+            tele = Telemetry()
+            with activate(tele):
+                sharded = run_chunks(
+                    _draw_bytes, args, workers=3,
+                    config=PoolConfig(shards=shards),
+                )
+            assert sharded == baseline
+            assert tele.counters["pool.shards"] == shards
+
+    def test_shards_clamped_to_chunks(self):
+        args = [({"entropy": 1, "spawn_key": (i,)}, 100) for i in range(2)]
+        out = run_chunks(
+            _draw_bytes, args, workers=2, config=PoolConfig(shards=16)
+        )
+        assert out == run_chunks(_draw_bytes, args, workers=2)
+
+    def test_no_shard_counter_when_off(self):
+        args = [({"entropy": 1, "spawn_key": (i,)}, 100) for i in range(3)]
+        tele = Telemetry()
+        with activate(tele):
+            run_chunks(_draw_bytes, args, workers=3)
+        assert "pool.shards" not in tele.counters
+
+
+# ----------------------------------------------------------------------
+# Engines: sharded vs unsharded byte-identity
+
+
+def _select(algo, graph, k, rng_seed=11):
+    return algo.select(graph, k, WC, rng=np.random.default_rng(rng_seed)).seeds
+
+
+class TestEngineByteIdentity:
+    def test_ris_sharded_identical(self, graph):
+        baseline = _select(RIS(num_rr_sets=900, rr_workers=3), graph, 5)
+        tele = Telemetry()
+        with activate(tele), shards_env(3):
+            sharded = _select(RIS(num_rr_sets=900, rr_workers=3), graph, 5)
+        assert sharded == baseline
+        assert tele.counters["pool.shards"] == 3
+
+    def test_imm_sharded_identical(self, graph):
+        algo = lambda: IMM(epsilon=0.5, rr_scale=0.02, rr_workers=3)  # noqa: E731
+        baseline = _select(algo(), graph, 5)
+        with shards_env(2):
+            sharded = _select(algo(), graph, 5)
+        assert sharded == baseline
+
+    def test_monte_carlo_sharded_identical(self, graph):
+        est = monte_carlo_spread(
+            graph, [0, 3], WC, r=60, rng=np.random.default_rng(2), workers=3
+        )
+        with shards_env(3):
+            sharded = monte_carlo_spread(
+                graph, [0, 3], WC, r=60, rng=np.random.default_rng(2),
+                workers=3,
+            )
+        assert sharded.mean == est.mean and sharded.std == est.std
+
+
+class TestPathEnginePartitionGrouping:
+    def test_batched_paths_sharded_bitwise_equal(self, graph):
+        sources = np.arange(graph.n, dtype=np.int64)
+        plain = batched_max_prob_paths(graph, sources, 0.01, reverse=True)
+        parallel = batched_max_prob_paths(
+            graph, sources, 0.01, reverse=True, workers=3
+        )
+        tele = Telemetry()
+        with activate(tele), shards_env(3):
+            sharded = batched_max_prob_paths(
+                graph, sources, 0.01, reverse=True, workers=3
+            )
+        assert tele.counters["paths.partition_grouped"] == graph.n
+        for got in (parallel, sharded):
+            assert np.array_equal(got.ptr, plain.ptr)
+            assert np.array_equal(got.node, plain.node)
+            assert np.array_equal(got.pp, plain.pp)
+            assert np.array_equal(got.parent_pos, plain.parent_pos)
+            assert np.array_equal(got.parent_w, plain.parent_w)
+
+    def test_forward_orientation_sharded_bitwise_equal(self, graph):
+        sources = np.arange(0, graph.n, 2, dtype=np.int64)
+        plain = batched_max_prob_paths(graph, sources, 0.02, reverse=False)
+        with shards_env(2):
+            sharded = batched_max_prob_paths(
+                graph, sources, 0.02, reverse=False, workers=2
+            )
+        assert np.array_equal(sharded.ptr, plain.ptr)
+        assert np.array_equal(sharded.node, plain.node)
+        assert np.array_equal(sharded.pp, plain.pp)
+
+    def test_dag_store_sharded_bitwise_equal(self, graph):
+        plain = build_dag_store(graph, 0.05)
+        with shards_env(3):
+            sharded = build_dag_store(graph, 0.05, workers=3)
+        assert len(sharded.structures) == len(plain.structures)
+        for a, b in zip(sharded.structures, plain.structures):
+            assert a.root == b.root
+            assert np.array_equal(a.nodes, b.nodes)
+            assert np.array_equal(a.pp, b.pp)
+            assert np.array_equal(a.e_tpos, b.e_tpos)
+            assert np.array_equal(a.e_spos, b.e_spos)
+            assert np.array_equal(a.e_w, b.e_w)
+
+    def test_tree_store_sharded_bitwise_equal(self, graph):
+        plain = build_tree_store(graph, 0.05)
+        with shards_env(2):
+            sharded = build_tree_store(graph, 0.05, workers=3)
+        assert len(sharded.structures) == len(plain.structures)
+        for a, b in zip(sharded.structures, plain.structures):
+            assert a.root == b.root
+            assert np.array_equal(a.nodes, b.nodes)
+            assert np.array_equal(a.pp, b.pp)
+            assert np.array_equal(a.e_w, b.e_w)
+
+    def test_kernel_rows_independent_of_batch_composition(self, graph):
+        # The invariant that makes partition grouping safe: each row of
+        # the batched kernel is a pure function of its own source.
+        sources = np.array([3, 17, 42, 80], dtype=np.int64)
+        together = _kernel_chunk(graph, 0.01, True, None, sources)
+        ptr = together[0]
+        for i, s in enumerate(sources):
+            alone = _kernel_chunk(
+                graph, 0.01, True, None, np.array([s], dtype=np.int64)
+            )
+            sl = slice(int(ptr[i]), int(ptr[i + 1]))
+            for j in range(1, 6):
+                assert np.array_equal(together[j][sl], alone[j])
+
+    def test_grouping_inactive_for_few_items(self, graph):
+        # len(items) <= shards: grouping is skipped (nothing to gain).
+        sources = np.arange(2, dtype=np.int64)
+        tele = Telemetry()
+        with activate(tele), shards_env(4):
+            batched_max_prob_paths(graph, sources, 0.01, reverse=True,
+                                   workers=2)
+        assert "paths.partition_grouped" not in tele.counters

@@ -142,7 +142,7 @@ class TestVertexCover:
         g = self.random_graph()
         cov = vertex_cover(g)
         vnodes = np.flatnonzero(cov)
-        sig, __ = _sigma_cover(g, vnodes, 1e-3, cov)
+        sig, __ = _sigma_cover(g, 1e-3, cov, vnodes)
         for i, v in enumerate(vnodes):
             assert sig[i] == simpath_spread(g, int(v), all_allowed(g.n), 1e-3)
 
