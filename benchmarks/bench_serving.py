@@ -1,0 +1,161 @@
+"""Serving-layer bench: cold vs warm latency, coalescing throughput.
+
+The serving layer's claim is the ROADMAP's north star made concrete:
+after the first query pays for the heavy artifact (a sampled RR pool, a
+snapshot-oracle world set), every subsequent query is an index lookup.
+This bench measures that pivot end to end — client to server over TCP —
+on a bundled graph:
+
+* ``topk`` cold (samples the RR pool) vs warm (max-cover over the cached
+  pool) vs warm at a different ``k`` (same pool, different budget);
+* ``sigma`` cold (builds the snapshot oracle) vs warm (cached worlds)
+  vs repeated (σ-memo hit);
+* a pipelined σ burst, which the server coalesces into one batched
+  oracle evaluation, vs the same queries issued one at a time (each of
+  which pays its own coalescing window, lock and executor hop).
+
+A byte-identity check pins the serving contract: the served seeds equal
+the batch harness's seeds for the same pinned inputs.
+
+Knobs: ``REPRO_BENCH_SERVE_DATASET`` (default ``nethept``),
+``REPRO_BENCH_SERVE_RR`` (RR sets, default 20000),
+``REPRO_BENCH_SERVE_WORLDS`` (snapshot worlds, default 200),
+``REPRO_BENCH_SERVE_BURST`` (σ burst size, default 16).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro import algorithms
+from repro.diffusion import model_by_name
+from repro.serving import ServingConfig, start_in_thread
+
+from _common import emit, once, weighted_dataset
+
+DATASET = os.environ.get("REPRO_BENCH_SERVE_DATASET", "nethept")
+RR_SETS = int(os.environ.get("REPRO_BENCH_SERVE_RR", 20_000))
+WORLDS = int(os.environ.get("REPRO_BENCH_SERVE_WORLDS", 200))
+BURST = int(os.environ.get("REPRO_BENCH_SERVE_BURST", 16))
+K = 10
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:9.2f} ms"
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def _run() -> list[str]:
+    handle = start_in_thread(
+        ServingConfig(datasets=(DATASET,), coalesce_ms=5.0)
+    )
+    lines = [
+        f"influence-query serving on {DATASET} "
+        f"(rr_sets={RR_SETS:,}, worlds={WORLDS}, burst={BURST})",
+        "",
+    ]
+    try:
+        with handle.client() as client:
+            params = {"num_rr_sets": RR_SETS}
+            cold, t_cold = _timed(
+                lambda: client.topk(DATASET, "IC", "RIS", K, params=params)
+            )
+            warm, t_warm = _timed(
+                lambda: client.topk(DATASET, "IC", "RIS", K, params=params)
+            )
+            other_k, t_other = _timed(
+                lambda: client.topk(DATASET, "IC", "RIS", K * 2, params=params)
+            )
+            assert not cold["warm"] and warm["warm"] and other_k["warm"]
+            assert warm["seeds"] == cold["seeds"]
+            lines += [
+                f"topk (RIS, k={K}):",
+                f"  cold (sample pool + cover) {_ms(t_cold)}",
+                f"  warm (cover cached pool)   {_ms(t_warm)}"
+                f"   speedup x{t_cold / t_warm:.1f}",
+                f"  warm k={K * 2:<3} (same pool)   {_ms(t_other)}",
+                "",
+            ]
+
+            seeds = cold["seeds"]
+            s_cold, t_scold = _timed(
+                lambda: client.sigma(DATASET, "IC", seeds, worlds=WORLDS)
+            )
+            s_warm, t_swarm = _timed(
+                lambda: client.sigma(DATASET, "IC", seeds[:5], worlds=WORLDS)
+            )
+            s_rep, t_srep = _timed(
+                lambda: client.sigma(DATASET, "IC", seeds[:5], worlds=WORLDS)
+            )
+            assert s_warm["warm"] and s_rep["sigma"] == s_warm["sigma"]
+            lines += [
+                f"sigma (snapshot oracle, {WORLDS} worlds):",
+                f"  cold (sample worlds + BFS) {_ms(t_scold)}",
+                f"  warm (cached worlds, BFS)  {_ms(t_swarm)}"
+                f"   speedup x{t_scold / t_swarm:.1f}",
+                f"  repeat (sigma-memo hit)    {_ms(t_srep)}",
+                "",
+            ]
+
+            burst_sets = [[int(v)] for v in range(BURST)]
+            batch, t_batch = _timed(
+                lambda: client.sigma_many(
+                    DATASET, "IC", burst_sets, worlds=WORLDS
+                )
+            )
+            serial, t_serial = _timed(
+                lambda: [
+                    client.sigma(DATASET, "IC", s, worlds=WORLDS, seed=1)
+                    for s in burst_sets
+                ]
+            )
+            coalesced = max(r["batched"] for r in batch)
+            lines += [
+                f"sigma burst of {BURST} singleton queries:",
+                f"  pipelined (coalesced into batches of <= {coalesced}) "
+                f"{_ms(t_batch)}",
+                f"  one-at-a-time (no coalescing window) {_ms(t_serial)}",
+                f"  throughput gain x{t_serial / t_batch:.1f}",
+                "",
+            ]
+
+            stats = client.stats()
+            cache = stats["cache"]
+            counters = stats["counters"]
+            lines += [
+                "server state after the run:",
+                f"  artifacts resident: {cache['entries']} "
+                f"({cache['total_bytes']:,} B of {cache['budget_bytes']:,} B)",
+                f"  artifact hits/misses: {cache['hits']}/{cache['misses']}",
+                f"  coalesced batches: "
+                f"{counters.get('serving.coalesced_batches', 0)} covering "
+                f"{counters.get('serving.coalesced_requests', 0)} requests",
+                f"  warm topk answers: {counters.get('serving.topk_warm', 0)}",
+            ]
+
+            # Byte-identity vs the batch harness on the same pinned inputs.
+            model = model_by_name("IC")
+            graph = weighted_dataset(DATASET, model)
+            ref = algorithms.make("RIS", num_rr_sets=RR_SETS).select(
+                graph, K, model, rng=np.random.default_rng(0)
+            )
+            identical = ref.seeds == cold["seeds"]
+            lines.append(f"  served seeds byte-identical to batch: {identical}")
+            assert identical, "serving must match the batch path exactly"
+            assert t_warm < t_cold, "warm topk must beat cold topk"
+    finally:
+        handle.stop()
+    return lines
+
+
+def test_serving_layer(benchmark):
+    lines = once(benchmark, _run)
+    emit("serving", "\n".join(lines))

@@ -8,6 +8,7 @@ Commands
 ``select``                   run one technique on a dataset and score it
 ``tune``                     the Sec.-5.1.1 optimal-parameter procedure
 ``report``                   aggregate benchmarks/results into markdown
+``serve``                    resident influence-query server (repro.serving)
 ``trace``                    summarize a JSONL telemetry trace
 
 Examples::
@@ -42,6 +43,7 @@ from .framework import (
     tune_parameter,
     write_trace,
 )
+from .serving import DEFAULT_PORT, ServingConfig, run_server
 
 __all__ = ["main", "build_parser"]
 
@@ -159,6 +161,35 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results-dir", default="benchmarks/results")
     report.add_argument("--output", default=None,
                         help="write to a file instead of stdout")
+
+    serve = sub.add_parser(
+        "serve", help="resident influence-query server (repro.serving)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP port (default {DEFAULT_PORT}; 0 = ephemeral)")
+    serve.add_argument("--datasets", default=None, metavar="A,B,...",
+                       help="restrict the bundled catalog (default: all)")
+    serve.add_argument("--catalog-dir", default=None, metavar="DIR",
+                       help="serve every *.npz graph in DIR (save_npz format), "
+                            "named by file stem")
+    serve.add_argument("--cache-mb", type=float, default=256.0, metavar="MB",
+                       help="byte budget for warm artifacts (RR pools, "
+                            "oracles, selections); 0 = unbounded")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="executor threads for engine work (1 keeps "
+                            "per-phase engine telemetry)")
+    serve.add_argument("--coalesce-ms", type=float, default=2.0, metavar="MS",
+                       help="window for batching concurrent sigma queries "
+                            "into one oracle evaluation")
+    serve.add_argument("--worlds", type=int, default=200, metavar="R",
+                       help="default live-edge worlds per sigma oracle")
+    serve.add_argument("--oracle", default="snapshot",
+                       choices=["snapshot", "sketch", "batched"],
+                       help="default sigma backend for sigma/gain queries")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="append serving.* telemetry as JSONL on shutdown "
+                            "(inspect via 'repro trace PATH')")
 
     trace = sub.add_parser("trace", help="summarize a JSONL telemetry trace")
     trace.add_argument("path", help="trace file written via --trace or "
@@ -292,6 +323,28 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    datasets_opt = None
+    if args.datasets:
+        datasets_opt = tuple(
+            name.strip() for name in args.datasets.split(",") if name.strip()
+        )
+    cache_bytes = None if args.cache_mb <= 0 else int(args.cache_mb * (1 << 20))
+    config = ServingConfig(
+        host=args.host,
+        port=args.port,
+        datasets=datasets_opt,
+        catalog_dir=args.catalog_dir,
+        cache_bytes=cache_bytes,
+        workers=args.workers,
+        coalesce_ms=args.coalesce_ms,
+        default_worlds=args.worlds,
+        default_oracle=args.oracle,
+        trace=args.trace,
+    )
+    return run_server(config, announce=print)
+
+
 def _cmd_trace(args) -> int:
     print(summarize_trace(args.path))
     return 0
@@ -317,6 +370,7 @@ def main(argv: list[str] | None = None) -> int:
         "select": lambda: _cmd_select(args),
         "tune": lambda: _cmd_tune(args),
         "report": lambda: _cmd_report(args),
+        "serve": lambda: _cmd_serve(args),
         "trace": lambda: _cmd_trace(args),
     }
     return handlers[args.command]()

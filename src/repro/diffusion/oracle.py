@@ -40,7 +40,9 @@ stream and silently change seeded runs.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+import os
+from collections import OrderedDict
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -52,6 +54,7 @@ from .snapshots import sample_live_masks
 
 __all__ = [
     "ORACLE_BACKENDS",
+    "BoundedMemo",
     "SpreadOracle",
     "SequentialMCOracle",
     "BatchedMCOracle",
@@ -65,6 +68,83 @@ __all__ = [
 ORACLE_BACKENDS = ("serial", "batched", "snapshot", "sketch")
 
 DEFAULT_MC_BATCH = 64
+
+#: Default entry bound for the oracle memo caches.  Generous enough that a
+#: batch selection run (at most a few k·n gain queries) never evicts — the
+#: byte-identity contract of the memoized greedy family is untouched — but
+#: finite, so a resident server answering an unbounded query stream holds
+#: a bounded working set.
+DEFAULT_MEMO_ENTRIES = 1 << 16
+
+
+def _env_entries(name: str, default: int) -> int:
+    raw = os.environ.get(name, "")
+    try:
+        return int(raw) if raw else default
+    except ValueError:
+        return default
+
+
+class BoundedMemo:
+    """LRU-bounded mapping used by every oracle-side memo cache.
+
+    A plain dict here is a slow memory leak in a long-lived process: each
+    distinct (seed set, node) or seed-set key is kept forever, which is
+    invisible in one batch run and unbounded in a server answering
+    millions of queries.  ``max_entries`` (env-tunable per cache) bounds
+    the working set; eviction is least-recently-used, so the hot keys of
+    a greedy run — the committed-prefix queries — stay resident.
+    """
+
+    __slots__ = ("max_entries", "counter", "evictions", "_data")
+
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        *,
+        env: str | None = None,
+        counter: str | None = None,
+    ) -> None:
+        if max_entries is None:
+            max_entries = (
+                _env_entries(env, DEFAULT_MEMO_ENTRIES)
+                if env
+                else DEFAULT_MEMO_ENTRIES
+            )
+        self.max_entries = max(1, int(max_entries))
+        self.counter = counter
+        self.evictions = 0
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            data[key] = value
+            data.move_to_end(key)
+            return
+        data[key] = value
+        if len(data) > self.max_entries:
+            data.popitem(last=False)
+            self.evictions += 1
+            if self.counter is not None:
+                _tele().count(self.counter)
+
+    def clear(self) -> None:
+        self._data.clear()
 
 
 def _tele():
@@ -112,6 +192,17 @@ class SpreadOracle(abc.ABC):
     @abc.abstractmethod
     def evaluate(self, nodes: Sequence[int]) -> float:
         """σ of an arbitrary seed set (one true evaluation)."""
+
+    def evaluate_many(self, seed_sets: Sequence[Sequence[int]]) -> list[float]:
+        """σ of several seed sets in one call.
+
+        The base implementation loops; backends that can amortize work
+        across sets (shared cache pass, shared world state) override it.
+        The serving layer's request coalescer funnels concurrent σ
+        queries through here, so one override turns N client requests
+        into one oracle evaluation.
+        """
+        return [self.evaluate(s) for s in seed_sets]
 
     @abc.abstractmethod
     def gain(
@@ -209,7 +300,9 @@ class BatchedMCOracle(SpreadOracle):
         self.batch = max(1, int(batch))
         self.workers = workers
         self._entropy = int(rng.integers(0, 2**63 - 1))
-        self._sigma_cache: dict[tuple[int, ...], float] = {}
+        self._sigma_cache = BoundedMemo(
+            env="REPRO_SIGMA_CACHE_MAX", counter="oracle.sigma_cache_evictions"
+        )
 
     def _sigma(self, key: tuple[int, ...]) -> float:
         if not key:
@@ -230,7 +323,7 @@ class BatchedMCOracle(SpreadOracle):
             workers=self.workers,
         ).mean
         self._tick_evaluation()
-        self._sigma_cache[key] = value
+        self._sigma_cache.put(key, value)
         return value
 
     def evaluate(self, nodes: Sequence[int]) -> float:
@@ -277,7 +370,9 @@ class SnapshotOracle(SpreadOracle):
                 graph, _dynamics_of(model), self.num_worlds, rng, budget=budget
             )
         self.covered = np.zeros((self.num_worlds, graph.n), dtype=bool)
-        self._sigma_cache: dict[tuple[int, ...], float] = {}
+        self._sigma_cache = BoundedMemo(
+            env="REPRO_SIGMA_CACHE_MAX", counter="oracle.sigma_cache_evictions"
+        )
 
     # -- multi-world reachability --------------------------------------
 
@@ -328,8 +423,74 @@ class SnapshotOracle(SpreadOracle):
         self._tick_evaluation()
         blocked = np.zeros_like(self.covered)
         value = float(self._reach(key, blocked).sum()) / self.num_worlds
-        self._sigma_cache[key] = value
+        self._sigma_cache.put(key, value)
         return value
+
+    def evaluate_many(self, seed_sets: Sequence[Sequence[int]]) -> list[float]:
+        """σ of several sets in one oracle call.
+
+        One pass resolves cache hits, dedups repeated sets, and runs the
+        reach kernel once per distinct miss under a single
+        ``oracle.sigma_batch`` span.  Values are bitwise identical to
+        per-set :meth:`evaluate` calls: the BFS is boolean and the final
+        division is the same integer-sum / R.
+        """
+        keys = [_seed_key(s) for s in seed_sets]
+        out: list[float | None] = [None] * len(keys)
+        misses: list[tuple[int, ...]] = []
+        for i, key in enumerate(keys):
+            if not key:
+                out[i] = 0.0
+                continue
+            cached = self._sigma_cache.get(key)
+            if cached is not None:
+                out[i] = cached
+            elif key not in misses:
+                misses.append(key)
+        if misses:
+            with _tele().span("oracle.sigma_batch"):
+                values = self._sigma_batch(misses)
+            _tele().count("oracle.batch_evaluations")
+            for key, value in zip(misses, values):
+                self.evaluations += 1
+                _tele().count("oracle.sigma_evaluations")
+                self._sigma_cache.put(key, value)
+            resolved = dict(zip(misses, values))
+            for i, key in enumerate(keys):
+                if out[i] is None:
+                    out[i] = resolved[key]
+        return [float(v) for v in out]
+
+    def _sigma_batch(self, keys: list[tuple[int, ...]]) -> list[float]:
+        """Evaluate several seed sets inside one oracle call.
+
+        Each set runs the same per-world reach kernel as
+        :meth:`evaluate` (frontier cost scales with that set's *own*
+        reachable edges).  A single stacked ``B × R``-row BFS was tried
+        here and rejected: it gathers the **union** frontier's edge
+        columns for every row, which loses badly when the coalesced sets
+        are disjoint — the common serving mix.  The batch win is in the
+        caller: one coalescing window, one artifact lock, one executor
+        hop and one σ-memo pass for the whole batch.
+        """
+        blocked = np.zeros_like(self.covered)
+        return [
+            float(self._reach(key, blocked).sum()) / self.num_worlds
+            for key in keys
+        ]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the warm artifact (the serving LRU's unit)."""
+        return sum(self.nbytes_detail().values())
+
+    def nbytes_detail(self) -> dict[str, int]:
+        """Byte breakdown of the presampled state, mirroring
+        :meth:`FlatRRPool.nbytes_detail`."""
+        return {
+            "live_worlds": int(self.live.nbytes),
+            "covered": int(self.covered.nbytes),
+        }
 
     def gain(
         self, v: int, extra: Sequence[int] = (), extra_gain: float = 0.0
@@ -456,6 +617,11 @@ class SketchOracle(SnapshotOracle):
     def gain_bound(self, v: int) -> float | None:
         return float(self._bounds[int(v)])
 
+    def nbytes_detail(self) -> dict[str, int]:
+        detail = super().nbytes_detail()
+        detail["sketch_bounds"] = int(self._bounds.nbytes)
+        return detail
+
 
 class GainCache:
     """Marginal-gain memo keyed by (frozen seed set, node).
@@ -466,10 +632,20 @@ class GainCache:
     evaluation.  With a stochastic oracle the cache deliberately bypasses
     itself: replaying a memoized value would skip RNG draws and silently
     change every subsequent estimate of a seeded run.
+
+    The memo is bounded (``REPRO_GAIN_CACHE_MAX`` entries, LRU): in a
+    resident server every distinct (seed set, node) pair ever queried
+    would otherwise be kept for the life of the process.  The default
+    bound is far above what one selection run generates, so batch-path
+    hit patterns — and therefore seeds — are unchanged.
     """
 
-    def __init__(self) -> None:
-        self._memo: dict[tuple[tuple[int, ...], int], float] = {}
+    def __init__(self, max_entries: int | None = None) -> None:
+        self._memo = BoundedMemo(
+            max_entries,
+            env="REPRO_GAIN_CACHE_MAX",
+            counter="oracle.gain_cache_evictions",
+        )
         self.hits = 0
         self.misses = 0
 
@@ -493,11 +669,16 @@ class GainCache:
         self.misses += 1
         _tele().count("oracle.gain_cache_misses")
         value = oracle.gain(v, extra, extra_gain)
-        self._memo[key] = value
+        self._memo.put(key, value)
         return value
 
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._memo),
+            "evictions": self._memo.evictions,
+        }
 
 
 def make_oracle(

@@ -532,6 +532,13 @@ class ResilientPool:
                 # still holding mappings keep the pages via the kernel
                 # refcount until they terminate.
                 arena.close()
+            if shared:
+                from . import shm as _shm
+
+                # The parent attaches too when chunks resolve in-process
+                # (nested-serial, downgrade); sweep so a resident process
+                # running many fan-outs holds no dead mappings.
+                _shm.detach_stale()
         return results
 
     def _spawn_executor(

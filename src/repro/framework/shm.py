@@ -66,6 +66,9 @@ __all__ = [
     "resolve_shared",
     "register_shm_handler",
     "shm_segment_of",
+    "attached_segments",
+    "detach_stale",
+    "detach_all",
     "SEGMENT_PREFIX",
     "INLINE_BYTES",
 ]
@@ -451,6 +454,63 @@ def shm_segment_of(array: Any) -> str | None:
     return _VIEW_SEGMENTS.get(id(array))
 
 
+def attached_segments() -> tuple[str, ...]:
+    """Names currently held in this process's attach cache."""
+    return tuple(_ATTACHED)
+
+
+def _segment_exists(name: str) -> bool:
+    """Whether the named segment is still linked in the filesystem."""
+    if os.path.isdir("/dev/shm"):
+        return os.path.exists(os.path.join("/dev/shm", name))
+    try:  # pragma: no cover - non-tmpfs platforms
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:  # pragma: no cover
+        return False
+    probe.close()  # pragma: no cover
+    return True  # pragma: no cover
+
+
+def _drop_attached(name: str) -> None:
+    seg, view = _ATTACHED.pop(name)
+    _VIEW_SEGMENTS.pop(id(view), None)
+    del view
+    try:
+        seg.close()
+    except BufferError:
+        # Some consumer still holds the view (e.g. a graph attached in a
+        # previous generation): the mapping stays alive until that
+        # reference dies; dropping the cache entry is what stops the
+        # unbounded growth.
+        pass
+
+
+def detach_stale() -> int:
+    """Evict attach-cache entries whose segment has been unlinked.
+
+    The cache exists so one worker process attaches each segment once —
+    but a process that outlives many arenas (the serving pattern, and any
+    reused pool worker) would otherwise accumulate ``SharedMemory``
+    handles and page mappings for segments the parent unlinked long ago.
+    Called between fan-out generations (worker initializer, parent-side
+    pool teardown); returns the number of entries dropped.
+    """
+    stale = [name for name in _ATTACHED if not _segment_exists(name)]
+    for name in stale:
+        _drop_attached(name)
+    if stale:
+        _telemetry.current().count("shm.detach_stale", len(stale))
+    return len(stale)
+
+
+def detach_all() -> int:
+    """Drop every cached attachment (e.g. at server shutdown)."""
+    names = list(_ATTACHED)
+    for name in names:
+        _drop_attached(name)
+    return len(names)
+
+
 def attach_meta() -> dict[str, int] | None:
     """Attach-counter delta since last call (``None`` when nothing new)."""
     global _ATTACH_REPORTED
@@ -476,6 +536,10 @@ def _worker_init(payload: Any) -> None:
     chunk so a worker that never runs one never maps the segments.
     """
     global _WORKER_PAYLOAD, _WORKER_RESOLVED, _WORKER_ARMED
+    # A new payload generation begins: anything attached for a previous
+    # (now unlinked) arena in this process is dead weight — sweep it so a
+    # long-lived worker's attach cache tracks live segments only.
+    detach_stale()
     _WORKER_PAYLOAD = payload
     _WORKER_RESOLVED = None
     _WORKER_ARMED = True

@@ -1,0 +1,40 @@
+"""Influence-query serving: warm artifacts behind an asyncio front.
+
+The batch harness answers "which seeds?" by re-running selection from
+scratch; this package turns that into a resident service where the heavy
+state — sampled RR pools, live-edge snapshot worlds, finished selections
+— is built once and kept warm behind a byte-budgeted LRU.  See
+:mod:`repro.serving.server` for the protocol and DESIGN.md ("Serving
+layer") for the architecture.
+"""
+
+from .artifacts import Artifact, ArtifactLRU, artifact_key, payload_nbytes
+from .catalog import ServingCatalog, graph_nbytes
+from .client import ServingClient, ServingError
+from .server import (
+    DEFAULT_PORT,
+    InfluenceServer,
+    ServerHandle,
+    ServingConfig,
+    ServingRequestError,
+    run_server,
+    start_in_thread,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactLRU",
+    "artifact_key",
+    "payload_nbytes",
+    "ServingCatalog",
+    "graph_nbytes",
+    "ServingClient",
+    "ServingError",
+    "DEFAULT_PORT",
+    "InfluenceServer",
+    "ServerHandle",
+    "ServingConfig",
+    "ServingRequestError",
+    "run_server",
+    "start_in_thread",
+]

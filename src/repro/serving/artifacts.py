@@ -1,0 +1,154 @@
+"""Byte-budgeted LRU over the server's warm per-(graph, model, params) state.
+
+Three artifact kinds ride in one cache, all measured in bytes through the
+``nbytes`` / ``nbytes_detail`` protocol the engines already expose:
+
+* ``rrpool`` — a sampled :class:`~repro.diffusion.rrpool.FlatRRPool`
+  (CSR pairs + lazy inverted index): any ``top-k`` against it is a warm
+  vectorized max-cover, no resampling.
+* ``oracle`` — a deterministic spread oracle (snapshot live-edge worlds,
+  sketch bounds, or content-keyed batched MC) answering ``sigma`` and
+  ``gain`` queries online — the Cohen et al. sketch-oracle serving
+  pattern.
+* ``selection`` — a finished :class:`SeedSelectionResult`; the greedy
+  prefix property (``seeds[:k']`` answers any smaller budget) makes one
+  cached run warm for every ``k' <= k``.
+
+Eviction is least-recently-used by total bytes.  The newest artifact is
+never evicted — a build that alone exceeds the budget still serves the
+request that paid for it, and simply leaves nothing else resident.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Artifact", "ArtifactLRU", "artifact_key", "payload_nbytes"]
+
+
+def artifact_key(kind: str, dataset: str, model: str, **params: Any) -> str:
+    """Canonical cache key for a (kind, graph, model, params) artifact."""
+    suffix = ",".join(f"{k}={params[k]!r}" for k in sorted(params))
+    return f"{kind}:{dataset}:{model}:{suffix}"
+
+
+def payload_nbytes(payload: Any) -> tuple[int, dict[str, int]]:
+    """(total bytes, breakdown) of an artifact payload.
+
+    Engine objects report through their own ``nbytes_detail``/``nbytes``;
+    anything else (e.g. a selection result) is sized by its pickle — an
+    upper-bound proxy that is cheap and monotone in content.
+    """
+    detail = getattr(payload, "nbytes_detail", None)
+    if callable(detail):
+        breakdown = {str(k): int(v) for k, v in detail().items()}
+        return sum(breakdown.values()), breakdown
+    nbytes = getattr(payload, "nbytes", None)
+    if isinstance(nbytes, int):
+        return int(nbytes), {"nbytes": int(nbytes)}
+    size = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    return size, {"pickled": size}
+
+
+@dataclass
+class Artifact:
+    """One warm cache entry plus its accounting."""
+
+    key: str
+    kind: str
+    payload: Any
+    nbytes: int
+    detail: dict[str, int] = field(default_factory=dict)
+    build_seconds: float = 0.0
+    hits: int = 0
+
+    @classmethod
+    def wrap(cls, key: str, kind: str, payload: Any, build_seconds: float = 0.0) -> "Artifact":
+        nbytes, detail = payload_nbytes(payload)
+        return cls(
+            key=key, kind=kind, payload=payload, nbytes=nbytes,
+            detail=detail, build_seconds=build_seconds,
+        )
+
+
+class ArtifactLRU:
+    """Byte-budgeted LRU keyed by :func:`artifact_key`.
+
+    Not thread-safe by design: the server performs every ``get``/``put``
+    on the event loop; only artifact *construction* runs on executor
+    threads.  ``telemetry`` (a collecting handle or the NULL singleton)
+    receives ``serving.artifact_*`` counters.
+    """
+
+    def __init__(self, budget_bytes: int | None, telemetry=None) -> None:
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError("budget_bytes must be non-negative or None")
+        self.budget_bytes = budget_bytes
+        self._entries: OrderedDict[str, Artifact] = OrderedDict()
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        if telemetry is None:
+            from ..framework.telemetry import NULL
+
+            telemetry = NULL
+        self._tele = telemetry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Artifact | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            self._tele.count("serving.artifact_misses")
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self.hits += 1
+        self._tele.count("serving.artifact_hits")
+        return entry
+
+    def put(self, artifact: Artifact) -> list[str]:
+        """Insert (or replace) an artifact; returns evicted keys."""
+        old = self._entries.pop(artifact.key, None)
+        if old is not None:
+            self.total_bytes -= old.nbytes
+        self._entries[artifact.key] = artifact
+        self.total_bytes += artifact.nbytes
+        evicted: list[str] = []
+        if self.budget_bytes is not None:
+            while self.total_bytes > self.budget_bytes and len(self._entries) > 1:
+                key, entry = self._entries.popitem(last=False)
+                self.total_bytes -= entry.nbytes
+                self.evictions += 1
+                evicted.append(key)
+                self._tele.count("serving.artifact_evictions")
+                self._tele.count("serving.artifact_evicted_bytes", entry.nbytes)
+        return evicted
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "total_bytes": int(self.total_bytes),
+            "budget_bytes": self.budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "by_kind": self._by_kind(),
+        }
+
+    def _by_kind(self) -> dict[str, dict[str, int]]:
+        kinds: dict[str, dict[str, int]] = {}
+        for entry in self._entries.values():
+            agg = kinds.setdefault(entry.kind, {"entries": 0, "bytes": 0})
+            agg["entries"] += 1
+            agg["bytes"] += entry.nbytes
+        return kinds

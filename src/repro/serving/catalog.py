@@ -1,0 +1,120 @@
+"""Graph catalog for the serving layer: load once, weight per model.
+
+A batch run pays graph generation and model weighting per invocation; a
+resident server pays them once.  :class:`ServingCatalog` owns that warm
+state: the base topologies (named analogues from
+:mod:`repro.datasets` plus any ``*.npz`` graphs dropped in a catalog
+directory) and the per-(dataset, model) weighted views every query
+resolves against.
+
+Weighting uses the same fixed generator (``default_rng(0)``) as the
+``repro select`` CLI path, so a served answer is byte-comparable to the
+batch harness on the same pinned seeds — the equivalence
+``tests/test_serving.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..graph.io import load_npz
+
+__all__ = ["ServingCatalog", "graph_nbytes"]
+
+
+def graph_nbytes(graph: DiGraph) -> int:
+    """Resident bytes of a CSR graph (both adjacency directions)."""
+    arrays = (
+        graph.out_ptr, graph.out_dst, graph.out_w,
+        graph.in_ptr, graph.in_src, graph.in_w, graph._in_perm,
+    )
+    return int(sum(a.nbytes for a in arrays))
+
+
+class ServingCatalog:
+    """Named graphs served warm, with per-model weighted views.
+
+    ``datasets`` restricts the bundled analogues (default: all of them);
+    ``catalog_dir`` adds every ``*.npz`` file in a directory as a graph
+    named by its stem (written via :func:`repro.graph.io.save_npz`).
+    Base graphs load eagerly in :meth:`warm` — "the catalog loads once"
+    — and weighted views materialize on first use per model.
+    """
+
+    def __init__(
+        self,
+        datasets: tuple[str, ...] | None = None,
+        catalog_dir: str | None = None,
+    ) -> None:
+        from ..datasets import load as load_dataset, names as dataset_names
+
+        bundled = dataset_names()
+        if datasets is not None:
+            unknown = [d for d in datasets if d not in bundled]
+            if unknown:
+                raise KeyError(
+                    f"unknown datasets {unknown}; bundled: {', '.join(bundled)}"
+                )
+            bundled = tuple(datasets)
+        self._loaders: dict[str, Callable[[], DiGraph]] = {
+            name: (lambda name=name: load_dataset(name)) for name in bundled
+        }
+        if catalog_dir is not None:
+            for fname in sorted(os.listdir(catalog_dir)):
+                if not fname.endswith(".npz"):
+                    continue
+                path = os.path.join(catalog_dir, fname)
+                self._loaders[fname[: -len(".npz")]] = (
+                    lambda path=path: load_npz(path)
+                )
+        self._graphs: dict[str, DiGraph] = {}
+        self._weighted: dict[tuple[str, str], DiGraph] = {}
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._loaders)
+
+    def warm(self) -> int:
+        """Load every catalog graph; returns total resident bytes."""
+        for name in self._loaders:
+            self.graph(name)
+        return self.nbytes
+
+    @property
+    def nbytes(self) -> int:
+        total = sum(graph_nbytes(g) for g in self._graphs.values())
+        total += sum(graph_nbytes(g) for g in self._weighted.values())
+        return int(total)
+
+    def graph(self, name: str) -> DiGraph:
+        """The base (unweighted) topology for ``name``."""
+        try:
+            loader = self._loaders[name]
+        except KeyError:
+            raise KeyError(
+                f"dataset {name!r} not in catalog; "
+                f"options: {', '.join(self._loaders)}"
+            ) from None
+        graph = self._graphs.get(name)
+        if graph is None:
+            graph = self._graphs[name] = loader()
+        return graph
+
+    def weighted(self, name: str, model_name: str):
+        """``(weighted graph, model)`` for a (dataset, model) pair.
+
+        The weighting RNG is pinned to ``default_rng(0)`` — the CLI's
+        convention — so serving answers and batch answers share edges.
+        """
+        from ..diffusion import model_by_name
+
+        model = model_by_name(model_name)
+        key = (name, model.name)
+        graph = self._weighted.get(key)
+        if graph is None:
+            graph = model.weighted(self.graph(name), np.random.default_rng(0))
+            self._weighted[key] = graph
+        return graph, model

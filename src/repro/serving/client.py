@@ -1,0 +1,166 @@
+"""Blocking client for the influence-query server (tests, benchmarks, CLI).
+
+One TCP connection, newline-delimited JSON both ways.  Requests carry
+monotonically increasing ids; :meth:`ServingClient.request_many` writes a
+whole batch before reading any response, so pipelined σ queries land
+inside the server's coalescing window and come back as one batched
+oracle evaluation — the idiom the coalescing tests and benchmark use.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Sequence
+
+__all__ = ["ServingClient", "ServingError"]
+
+
+class ServingError(RuntimeError):
+    """Server answered ``ok: false``; carries the server-side type."""
+
+    def __init__(self, error: dict[str, Any]) -> None:
+        self.type = str(error.get("type", "Error"))
+        super().__init__(f"{self.type}: {error.get('message', '')}")
+
+
+class ServingClient:
+    """Synchronous line-protocol client; usable as a context manager."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, self.port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- transport ------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, op: str, **fields: Any) -> Any:
+        return self.request_many([dict(fields, op=op)])[0]
+
+    def request_many(self, requests: Sequence[dict[str, Any]]) -> list[Any]:
+        """Pipeline a batch: write all requests, then collect all replies.
+
+        Replies may arrive out of order (each request is its own server
+        task); they are matched back to requests by id.
+        """
+        ids = []
+        for request in requests:
+            rid = self._next_id
+            self._next_id += 1
+            ids.append(rid)
+            line = json.dumps(dict(request, id=rid)) + "\n"
+            self._file.write(line.encode())
+        self._file.flush()
+        by_id: dict[int, dict] = {}
+        for __ in requests:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = json.loads(line)
+            by_id[response.get("id")] = response
+        out = []
+        for rid in ids:
+            response = by_id[rid]
+            if not response.get("ok"):
+                raise ServingError(response.get("error") or {})
+            out.append(response.get("result"))
+        return out
+
+    # -- endpoints ------------------------------------------------------
+
+    def ping(self) -> str:
+        return self.request("ping")
+
+    def catalog(self) -> list[dict[str, Any]]:
+        return self.request("catalog")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")
+
+    def topk(
+        self,
+        dataset: str,
+        model: str,
+        algorithm: str,
+        k: int,
+        params: dict[str, Any] | None = None,
+        seed: int = 0,
+    ) -> dict[str, Any]:
+        return self.request(
+            "topk", dataset=dataset, model=model, algorithm=algorithm,
+            k=k, params=params or {}, seed=seed,
+        )
+
+    def sigma(
+        self,
+        dataset: str,
+        model: str,
+        seeds: Sequence[int],
+        oracle: str | None = None,
+        worlds: int | None = None,
+        seed: int = 0,
+    ) -> dict[str, Any]:
+        return self.request("sigma", **self._sigma_fields(
+            dataset, model, seeds, oracle, worlds, seed
+        ))
+
+    def sigma_many(
+        self,
+        dataset: str,
+        model: str,
+        seed_sets: Sequence[Sequence[int]],
+        oracle: str | None = None,
+        worlds: int | None = None,
+        seed: int = 0,
+    ) -> list[dict[str, Any]]:
+        """Pipelined σ batch — lands in one server coalescing window."""
+        return self.request_many([
+            dict(self._sigma_fields(dataset, model, s, oracle, worlds, seed),
+                 op="sigma")
+            for s in seed_sets
+        ])
+
+    def gain(
+        self,
+        dataset: str,
+        model: str,
+        node: int,
+        seeds: Sequence[int] = (),
+        oracle: str | None = None,
+        worlds: int | None = None,
+        seed: int = 0,
+    ) -> dict[str, Any]:
+        fields = self._sigma_fields(dataset, model, seeds, oracle, worlds, seed)
+        fields["node"] = int(node)
+        return self.request("gain", **fields)
+
+    def shutdown(self) -> str:
+        return self.request("shutdown")
+
+    @staticmethod
+    def _sigma_fields(dataset, model, seeds, oracle, worlds, seed) -> dict:
+        fields: dict[str, Any] = {
+            "dataset": dataset,
+            "model": model,
+            "seeds": [int(s) for s in seeds],
+            "seed": int(seed),
+        }
+        if oracle is not None:
+            fields["oracle"] = oracle
+        if worlds is not None:
+            fields["worlds"] = int(worlds)
+        return fields
